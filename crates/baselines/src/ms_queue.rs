@@ -1,0 +1,330 @@
+//! The Michael–Scott lock-free queue \[MS98\], instrumented.
+//!
+//! This is the algorithm the paper positions itself against: enqueues and
+//! dequeues CAS the shared `tail`/`head` pointers, so under contention a
+//! successful CAS can fail all `p − 1` rivals, giving `Ω(p)` amortized steps
+//! per operation — the *CAS retry problem*. Every shared load and CAS is
+//! counted through [`wfqueue_metrics`] so the contention behaviour can be
+//! compared head-to-head with the wait-free queue.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use crossbeam_utils::CachePadded;
+use wfqueue_metrics as metrics;
+
+struct MsNode<T> {
+    /// Uninitialised in the sentinel; initialised in every enqueued node.
+    /// A value is moved out (at most once) by the dequeue that wins the
+    /// head-swinging CAS.
+    value: MaybeUninit<T>,
+    next: Atomic<MsNode<T>>,
+}
+
+/// A lock-free Michael–Scott queue (two-CAS enqueue, one-CAS dequeue).
+///
+/// Lock-free but not wait-free: an operation can retry its CAS an unbounded
+/// number of times under contention.
+///
+/// # Examples
+///
+/// ```
+/// let q = wfqueue_baselines::MsQueue::new();
+/// q.enqueue(1);
+/// q.enqueue(2);
+/// assert_eq!(q.dequeue(), Some(1));
+/// assert_eq!(q.dequeue(), Some(2));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+pub struct MsQueue<T> {
+    head: CachePadded<Atomic<MsNode<T>>>,
+    tail: CachePadded<Atomic<MsNode<T>>>,
+}
+
+// SAFETY: values are owned by the queue between enqueue and dequeue and are
+// handed across threads; `T: Send` suffices (no `&T` is ever shared).
+unsafe impl<T: Send> Send for MsQueue<T> {}
+// SAFETY: all shared mutation is via atomics with epoch-protected
+// reclamation.
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue (one sentinel node).
+    #[must_use]
+    pub fn new() -> Self {
+        let sentinel = Owned::new(MsNode {
+            value: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        let sentinel = sentinel.into_shared(&guard);
+        MsQueue {
+            head: CachePadded::new(Atomic::from(sentinel)),
+            tail: CachePadded::new(Atomic::from(sentinel)),
+        }
+    }
+
+    /// Appends `value` to the back of the queue.
+    pub fn enqueue(&self, value: T) {
+        let guard = &epoch::pin();
+        let mut node = Owned::new(MsNode {
+            value: MaybeUninit::new(value),
+            next: Atomic::null(),
+        });
+        loop {
+            metrics::record_shared_load();
+            let tail = self.tail.load(Ordering::SeqCst, guard);
+            // SAFETY: `tail` is never null and nodes are reclaimed only
+            // after being unlinked, under the epoch guard.
+            let tail_ref = unsafe { tail.deref() };
+            metrics::record_shared_load();
+            let next = tail_ref.next.load(Ordering::SeqCst, guard);
+            if !next.is_null() {
+                // Tail is lagging: help swing it forward, then retry.
+                let r = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    guard,
+                );
+                metrics::record_cas(r.is_ok());
+                continue;
+            }
+            // Race window: tail was read above; an adversarial scheduler
+            // preempts here so a rival's CAS wins (the CAS retry problem).
+            metrics::adversary_yield();
+            match tail_ref.next.compare_exchange(
+                Shared::null(),
+                node,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                guard,
+            ) {
+                Ok(new) => {
+                    metrics::record_cas(true);
+                    // Swing the tail; failure is fine (someone helped).
+                    let r = self.tail.compare_exchange(
+                        tail,
+                        new,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                        guard,
+                    );
+                    metrics::record_cas(r.is_ok());
+                    return;
+                }
+                Err(e) => {
+                    metrics::record_cas(false);
+                    node = e.new;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the front value, or `None` if the queue is empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let guard = &epoch::pin();
+        loop {
+            metrics::record_shared_load();
+            let head = self.head.load(Ordering::SeqCst, guard);
+            // SAFETY: `head` is never null; protected by `guard`.
+            let head_ref = unsafe { head.deref() };
+            metrics::record_shared_load();
+            let next = head_ref.next.load(Ordering::SeqCst, guard);
+            if next.is_null() {
+                return None;
+            }
+            metrics::record_shared_load();
+            let tail = self.tail.load(Ordering::SeqCst, guard);
+            if head == tail {
+                // Tail lagging behind a non-empty list: help it forward.
+                let r = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    guard,
+                );
+                metrics::record_cas(r.is_ok());
+            }
+            // Race window symmetric to enqueue's (see above).
+            metrics::adversary_yield();
+            match self
+                .head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst, guard)
+            {
+                Ok(_) => {
+                    metrics::record_cas(true);
+                    // SAFETY: `next` is now the sentinel; we won the CAS, so
+                    // we are the unique thread reading its value out.
+                    let value = unsafe { next.deref().value.assume_init_read() };
+                    // SAFETY: the old sentinel is unlinked; no new reader can
+                    // reach it, existing readers are guard-protected.
+                    unsafe { guard.defer_destroy(head) };
+                    return Some(value);
+                }
+                Err(_) => {
+                    metrics::record_cas(false);
+                }
+            }
+        }
+    }
+
+    /// Whether the queue appears empty at this instant.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let guard = &epoch::pin();
+        let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: head is never null; guard-protected.
+        let next = unsafe { head.deref() }.next.load(Ordering::SeqCst, guard);
+        next.is_null()
+    }
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsQueue")
+            .field("is_empty", &self.is_empty())
+            .finish()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; walk the list, dropping initialised
+        // values (everything except the current sentinel) and freeing nodes.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            let mut is_sentinel = true;
+            while !cur.is_null() {
+                let next = cur.deref().next.load(Ordering::Relaxed, guard);
+                let mut owned = cur.into_owned();
+                if !is_sentinel {
+                    owned.value.assume_init_drop();
+                }
+                drop(owned);
+                is_sentinel = false;
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_semantics_sequential() {
+        let q = MsQueue::new();
+        let mut model = VecDeque::new();
+        for i in 0..200u32 {
+            if i % 3 == 2 {
+                assert_eq!(q.dequeue(), model.pop_front());
+            } else {
+                q.enqueue(i);
+                model.push_back(i);
+            }
+        }
+        while let Some(v) = model.pop_front() {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_with_remaining_values() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let q = MsQueue::new();
+            for _ in 0..10 {
+                q.enqueue(D);
+            }
+            drop(q.dequeue());
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_no_loss_no_dup() {
+        let q = Arc::new(MsQueue::new());
+        let threads = 8;
+        let per_thread = 5_000u64;
+        let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        q.enqueue((t << 32) | i);
+                    }
+                });
+            }
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        let mut misses = 0;
+                        while got.len() < per_thread as usize && misses < 5_000_000 {
+                            match q.dequeue() {
+                                Some(v) => {
+                                    got.push(v);
+                                    misses = 0;
+                                }
+                                None => misses += 1,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = consumed.iter().flatten().copied().collect();
+        assert_eq!(all.len(), threads * per_thread as usize);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), threads * per_thread as usize, "duplicates");
+        // Per-producer FIFO within each consumer.
+        for got in &consumed {
+            let mut last = vec![None::<u64>; threads];
+            for v in got {
+                let t = (v >> 32) as usize;
+                let i = v & 0xffff_ffff;
+                if let Some(prev) = last[t] {
+                    assert!(i > prev);
+                }
+                last[t] = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn operations_record_steps() {
+        let q = MsQueue::new();
+        let (_, steps) = metrics::measure(|| {
+            q.enqueue(1);
+            let _ = q.dequeue();
+        });
+        assert!(steps.shared_loads > 0);
+        assert!(steps.cas_success >= 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Adapter around `crossbeam::queue::SegQueue` — an industrial lock-free
+//! queue — as an ecosystem reference point in the throughput experiments.
+//!
+//! `SegQueue`'s internals are not instrumented (it is an external crate), so
+//! it appears only in wall-clock comparisons (experiment E9), not in
+//! step-count tables.
+
+use crossbeam_queue::SegQueue;
+
+/// A thin wrapper giving [`SegQueue`] the same API surface as the other
+/// baselines.
+///
+/// # Examples
+///
+/// ```
+/// let q = wfqueue_baselines::SegQueueAdapter::new();
+/// q.enqueue(9);
+/// assert_eq!(q.dequeue(), Some(9));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SegQueueAdapter<T> {
+    inner: SegQueue<T>,
+}
+
+impl<T> SegQueueAdapter<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        SegQueueAdapter {
+            inner: SegQueue::new(),
+        }
+    }
+
+    /// Appends `value` to the back of the queue.
+    pub fn enqueue(&self, value: T) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the front value, or `None` if empty.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.pop()
+    }
+
+    /// Whether the queue is empty at this instant.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let q = SegQueueAdapter::new();
+        q.enqueue('a');
+        q.enqueue('b');
+        assert_eq!(q.dequeue(), Some('a'));
+        assert_eq!(q.dequeue(), Some('b'));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation A1 — the GC period `G`.
+//!
+//! The paper fixes `G = p²⌈log₂ p⌉` so that a GC phase's
+//! `O(p² log p log(p+q))` total cost amortizes to `O(log p log(p+q))` per
+//! operation (§B.2). This ablation sweeps `G` and reports both sides of the
+//! trade-off: amortized steps per operation (falls as G grows — fewer help
+//! phases) and live-block space (rises as G grows — more garbage retained),
+//! with the paper's choice marked.
+
+use wfqueue::bounded::introspect;
+use wfqueue_harness::queue_api::WfBounded;
+use wfqueue_harness::table::{f1, Table};
+use wfqueue_harness::workload::{run_workload, WorkloadSpec};
+
+fn main() {
+    let p = 4usize;
+    let paper_g = p * p * 2; // p² ⌈log₂ p⌉ for p = 4
+    let mut table = Table::new(
+        "A1: GC period ablation (p=4, q~64): amortized cost vs retained space",
+        &["G", "steps/op", "gc phases", "helps", "live blocks", "max/node"],
+    );
+    for g in [1usize, 4, 16, paper_g, 128, 1024, 16_384] {
+        let q = WfBounded::with_gc_period(p, g);
+        let spec = WorkloadSpec {
+            threads: p,
+            ops_per_thread: 8_000,
+            enqueue_permille: 500,
+            prefill: 64,
+            seed: 0xA1,
+        };
+        let r = run_workload(&q, &spec);
+        assert!(r.audits_ok(), "audits failed at G={g}");
+        let gc = r.enqueue.gc_phases + r.dequeue_hit.gc_phases + r.dequeue_null.gc_phases;
+        let helps = r.enqueue.help_calls + r.dequeue_hit.help_calls + r.dequeue_null.help_calls;
+        let stats = introspect::space_stats(&q.0);
+        let label = if g == paper_g {
+            format!("{g} (paper)")
+        } else {
+            g.to_string()
+        };
+        table.row_owned(vec![
+            label,
+            f1(r.steps_avg()),
+            gc.to_string(),
+            helps.to_string(),
+            stats.total_blocks.to_string(),
+            stats.max_node_blocks.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: steps/op falls and flattens as G grows (GC cost amortizes away);\n\
+         live blocks grow ~linearly with G (garbage retained between phases). The paper's\n\
+         G sits on the flat part of the cost curve at polynomial space.\n"
+    );
+}

@@ -1,0 +1,23 @@
+//! Experiment helpers (scales, environment detection, printing).
+
+/// Thread counts ("p") swept by the scaling experiments. Kept modest so the
+/// full suite completes quickly even on small CI machines; pass `--full` to
+/// an experiment binary to extend the sweep.
+pub const P_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Extended sweep used with `--full`.
+pub const P_SWEEP_FULL: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Returns the sweep selected by the command line.
+pub fn p_sweep() -> &'static [usize] {
+    if std::env::args().any(|a| a == "--full") {
+        P_SWEEP_FULL
+    } else {
+        P_SWEEP
+    }
+}
+
+/// log2 of a positive number, as f64.
+pub fn log2(x: f64) -> f64 {
+    x.log2()
+}

@@ -1,0 +1,7 @@
+//! Shared plumbing for the experiment binaries (`benches/e*.rs`).
+//!
+//! Each bench target regenerates one experiment from `DESIGN.md` §4 and
+//! prints the corresponding table; see `EXPERIMENTS.md` for paper-vs-measured
+//! discussion.
+
+pub mod exp;

@@ -1,0 +1,177 @@
+//! Blocks of the bounded-space queue (Figure 5 of the paper).
+
+use std::sync::Arc;
+
+use wfqueue_segvec::AtomicOnceCell;
+
+/// The operation recorded by a leaf block.
+#[derive(Debug)]
+pub(crate) enum LeafOp<T> {
+    /// `Enqueue(value)`.
+    Enqueue(T),
+    /// A `Dequeue`; its `response` is filled in by a helper (or by the owner
+    /// implicitly returning it) — Figure 5 line 303.
+    Dequeue {
+        /// Write-once response slot: `Some(v)` for a value, `None` for a
+        /// null dequeue.
+        response: AtomicOnceCell<Option<T>>,
+    },
+}
+
+/// One block stored in a node's persistent block tree.
+///
+/// Compared to the unbounded variant (Figure 3), bounded blocks gain an
+/// explicit `index` (their position in the conceptual `blocks` array, used
+/// as the tree key), lose the `super` hint (superblocks are found by
+/// searching the parent's tree on `endleft`/`endright`), and leaf dequeue
+/// blocks gain a `response` cell so other processes can help complete them.
+///
+/// Blocks are fully immutable after construction except for the `response`
+/// write-once cell; they are shared between tree versions via [`Arc`].
+#[derive(Debug)]
+pub(crate) struct Block<T> {
+    /// Position this block would have in the unbounded `blocks` array.
+    pub index: usize,
+    /// Prefix count of enqueues up to and including this block (Invariant 7).
+    pub sumenq: usize,
+    /// Prefix count of dequeues up to and including this block (Invariant 7).
+    pub sumdeq: usize,
+    /// Index of the last direct subblock in the left child (internal).
+    pub endleft: usize,
+    /// Index of the last direct subblock in the right child (internal).
+    pub endright: usize,
+    /// Queue size after this block's operations (root only).
+    pub size: usize,
+    /// Leaf payload; `None` for internal and dummy blocks.
+    pub op: Option<LeafOp<T>>,
+}
+
+impl<T> Block<T> {
+    /// The empty block with index 0 that seeds every node's tree.
+    pub fn dummy() -> Arc<Self> {
+        Arc::new(Block {
+            index: 0,
+            sumenq: 0,
+            sumdeq: 0,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            op: None,
+        })
+    }
+
+    /// Leaf block for `Enqueue(element)` (Figure 5 line 203).
+    pub fn leaf_enqueue(index: usize, element: T, prev: &Block<T>) -> Arc<Self> {
+        Arc::new(Block {
+            index,
+            sumenq: prev.sumenq + 1,
+            sumdeq: prev.sumdeq,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            op: Some(LeafOp::Enqueue(element)),
+        })
+    }
+
+    /// Leaf block for a `Dequeue` (Figure 5 line 208).
+    pub fn leaf_dequeue(index: usize, prev: &Block<T>) -> Arc<Self> {
+        Arc::new(Block {
+            index,
+            sumenq: prev.sumenq,
+            sumdeq: prev.sumdeq + 1,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            op: Some(LeafOp::Dequeue {
+                response: AtomicOnceCell::new(),
+            }),
+        })
+    }
+
+    /// Internal (or root) block built by `CreateBlock` (Figure 5 lines
+    /// 307–324).
+    pub fn internal(
+        index: usize,
+        sumenq: usize,
+        sumdeq: usize,
+        endleft: usize,
+        endright: usize,
+        size: usize,
+    ) -> Arc<Self> {
+        Arc::new(Block {
+            index,
+            sumenq,
+            sumdeq,
+            endleft,
+            endright,
+            size,
+            op: None,
+        })
+    }
+
+    /// Interval end towards the given direction.
+    pub fn end(&self, left: bool) -> usize {
+        if left {
+            self.endleft
+        } else {
+            self.endright
+        }
+    }
+
+    /// The response cell if this is a leaf dequeue block.
+    pub fn response(&self) -> Option<&AtomicOnceCell<Option<T>>> {
+        match &self.op {
+            Some(LeafOp::Dequeue { response }) => Some(response),
+            _ => None,
+        }
+    }
+
+    /// Whether this leaf block records a dequeue.
+    pub fn is_dequeue(&self) -> bool {
+        matches!(self.op, Some(LeafOp::Dequeue { .. }))
+    }
+
+    /// The enqueued element, for leaf enqueue blocks.
+    pub fn element(&self) -> Option<&T> {
+        match &self.op {
+            Some(LeafOp::Enqueue(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_block_is_zeroed() {
+        let d: Arc<Block<u8>> = Block::dummy();
+        assert_eq!((d.index, d.sumenq, d.sumdeq, d.size), (0, 0, 0, 0));
+        assert!(d.op.is_none());
+        assert!(!d.is_dequeue());
+        assert!(d.element().is_none());
+        assert!(d.response().is_none());
+    }
+
+    #[test]
+    fn leaf_blocks_update_sums_and_payload() {
+        let d: Arc<Block<&str>> = Block::dummy();
+        let e = Block::leaf_enqueue(1, "x", &d);
+        assert_eq!((e.sumenq, e.sumdeq), (1, 0));
+        assert_eq!(e.element(), Some(&"x"));
+        let q = Block::leaf_dequeue(2, &e);
+        assert_eq!((q.sumenq, q.sumdeq), (1, 1));
+        assert!(q.is_dequeue());
+        assert!(q.response().unwrap().get().is_none());
+        q.response().unwrap().set(Some("x")).unwrap();
+        assert_eq!(q.response().unwrap().get(), Some(&Some("x")));
+    }
+
+    #[test]
+    fn end_selects_direction() {
+        let b: Arc<Block<u8>> = Block::internal(3, 4, 5, 6, 7, 0);
+        assert_eq!(b.end(true), 6);
+        assert_eq!(b.end(false), 7);
+    }
+}

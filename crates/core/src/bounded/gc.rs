@@ -1,0 +1,109 @@
+//! Garbage collection of obsolete blocks: `SplitBlock`, `Help` and
+//! `Propagated` (Figure 5 lines 234–248, 268–280, 298–306 of the paper).
+
+use std::sync::Arc;
+
+use crossbeam_epoch as epoch;
+use wfqueue_metrics as metrics;
+use wfqueue_pstore::PersistentOrderedMap;
+
+use super::block::Block;
+use super::queue::Queue;
+use super::store::StoreFamily;
+
+impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
+    /// `SplitBlock(v)` — Figure 5 lines 234–248: the oldest block of `v`
+    /// that a GC phase must keep.
+    ///
+    /// At the root this is the block preceding `m = max(last[1..p])` (every
+    /// enqueue in root blocks `1..m−1` is dequeued by an operation that
+    /// `Help` completes, so they are finished; block `m−1` itself is kept so
+    /// that later searches can still read the predecessor of the first
+    /// unfinished block). Below the root the split point is mapped down
+    /// through the `endleft`/`endright` interval ends. If a block needed for
+    /// the mapping was already discarded by another GC phase, the node's
+    /// minimum block is used instead (line 247).
+    pub(crate) fn split_block(&self, v: usize, guard: &epoch::Guard) -> Arc<Block<T>> {
+        let topo = *self.topology();
+        let tree = self.node(v).load(guard);
+        let candidate = if v == topo.root() {
+            let m = (0..topo.num_processes())
+                .map(|k| self.last_of(k))
+                .max()
+                .unwrap_or(0);
+            if m == 0 {
+                None
+            } else {
+                tree.tree.get((m - 1) as u64).cloned()
+            }
+        } else {
+            let parent_split = self.split_block(topo.parent(v), guard);
+            let idx = parent_split.end(topo.is_left_child(v));
+            tree.tree.get(idx as u64).cloned()
+        };
+        // Line 247: if the block was discarded, use the leftmost block.
+        candidate.unwrap_or_else(|| {
+            Arc::clone(tree.tree.min().expect("trees are never empty").1)
+        })
+    }
+
+    /// `Help` — Figure 5 lines 298–306: complete every pending dequeue that
+    /// has already been propagated to the root, writing its response into
+    /// its leaf block.
+    pub(crate) fn help(&self, pid: usize) {
+        let topo = *self.topology();
+        for k in 0..topo.num_processes() {
+            let leaf = topo.leaf_of(k);
+            let max_block = {
+                let guard = epoch::pin();
+                let tref = self.node(leaf).load(&guard);
+                Arc::clone(tref.tree.max().expect("trees are never empty").1)
+            };
+            if max_block.is_dequeue()
+                && max_block.index > 0
+                && self.propagated(leaf, max_block.index)
+            {
+                metrics::record_help();
+                if let Ok(response) = self.complete_deq(pid, leaf, max_block.index) {
+                    // First writer wins; the owner (or another helper) may
+                    // have written it already.
+                    let _ = max_block
+                        .response()
+                        .expect("is_dequeue implies a response cell")
+                        .set(response);
+                }
+                // On Err(Discarded) the operation was already finished by
+                // someone else (Invariant 27), so there is nothing to do.
+            }
+        }
+    }
+
+    /// `Propagated(v, b)` — Figure 5 lines 268–280: whether the block with
+    /// index `b` of node `v` has been propagated into the root.
+    pub(crate) fn propagated(&self, v: usize, b: usize) -> bool {
+        let topo = *self.topology();
+        let (mut v, mut b) = (v, b);
+        loop {
+            if v == topo.root() {
+                return true;
+            }
+            let parent = topo.parent(v);
+            let is_left = topo.is_left_child(v);
+            let guard = epoch::pin();
+            let tref = self.node(parent).load(&guard);
+            let max = tref.tree.max().expect("trees are never empty").1;
+            if max.end(is_left) < b {
+                return false;
+            }
+            // Minimum block with end_dir ≥ b: the superblock (or a later
+            // block, if the superblock was discarded — which can only make
+            // the "propagated" answer stay true).
+            let (_, sup) = tref
+                .tree
+                .first_where(|blk| blk.end(is_left) >= b)
+                .expect("max satisfies the predicate");
+            b = sup.index;
+            v = parent;
+        }
+    }
+}

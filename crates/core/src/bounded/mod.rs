@@ -1,0 +1,26 @@
+//! The bounded-space queue of §6 / Appendix B of the paper.
+//!
+//! Same ordering-tree algorithm as [`crate::unbounded`], but each node's
+//! infinite `blocks` array is replaced by a persistent search tree of blocks
+//! published by CAS, with periodic garbage-collection phases that discard
+//! finished blocks, keeping space `O(p·q_max + p³ log p)` (Theorem 31) at
+//! `O(log p · log(p + q_max))` amortized steps per operation (Theorem 32).
+
+mod block;
+mod gc;
+mod node;
+mod queue;
+mod search;
+
+pub mod introspect;
+pub mod store;
+
+pub use queue::{Handle, Queue};
+pub use store::{AvlBacked, StoreFamily, TreapBacked};
+
+/// The bounded queue backed by the worst-case-balanced AVL block store
+/// (see [`store`]); API-identical to [`Queue`].
+pub type AvlQueue<T> = Queue<T, AvlBacked>;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,417 @@
+//! The bounded-space wait-free queue (Figures 5–6 of the paper).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch as epoch;
+use crossbeam_utils::CachePadded;
+use wfqueue_metrics as metrics;
+
+use wfqueue_pstore::PersistentOrderedMap;
+
+use super::block::Block;
+use super::node::{BlockTree, Node};
+use super::search::Discarded;
+use super::store::{StoreFamily, TreapBacked};
+use crate::topology::Topology;
+
+/// `⌈log₂ p⌉`, with a minimum of 1.
+fn ceil_log2(p: usize) -> usize {
+    (usize::BITS - (p.max(2) - 1).leading_zeros()) as usize
+}
+
+/// The bounded-space wait-free queue of §6 / Appendix B of the paper.
+///
+/// Functionally identical to [`crate::unbounded::Queue`], but obsolete
+/// blocks are discarded by periodic garbage-collection phases so that the
+/// structure holds `O(q_max + p² log p)` blocks per node (Lemma 29; Theorem
+/// 31 overall) while operations keep an amortized
+/// `O(log p · log(p + q_max))` step complexity (Theorem 32).
+///
+/// A GC phase runs every `G` block insertions at a node; the paper picks
+/// `G = p²⌈log₂ p⌉`, which [`Queue::new`] uses. Tests can shrink the period
+/// with [`Queue::with_gc_period`] to exercise the discard paths constantly.
+///
+/// # Examples
+///
+/// ```
+/// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::new(2);
+/// let mut h = q.register().unwrap();
+/// h.enqueue(1);
+/// assert_eq!(h.dequeue(), Some(1));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct Queue<T: Clone + Send + Sync, F: StoreFamily = TreapBacked> {
+    topo: Topology,
+    nodes: Vec<Node<T, F>>,
+    /// `last[k]`: largest root-block index process `k` observed to contain a
+    /// null dequeue or an enqueue whose element was dequeued (Appendix B).
+    /// Written only by process `k`.
+    last: Vec<CachePadded<AtomicUsize>>,
+    gc_period: usize,
+    next_pid: AtomicUsize,
+}
+
+impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
+    /// Creates a queue for at most `num_processes` processes with the
+    /// paper's GC period `G = p²⌈log₂ p⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` is zero.
+    #[must_use]
+    pub fn new(num_processes: usize) -> Self {
+        let g = num_processes * num_processes * ceil_log2(num_processes);
+        Self::with_gc_period(num_processes, g.max(1))
+    }
+
+    /// Creates a queue with an explicit GC period (must be ≥ 1). Smaller
+    /// periods reclaim more eagerly at higher amortized cost; `1` runs a GC
+    /// phase on every block insertion (useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` or `gc_period` is zero.
+    #[must_use]
+    pub fn with_gc_period(num_processes: usize, gc_period: usize) -> Self {
+        assert!(gc_period > 0, "gc_period must be at least 1");
+        let topo = Topology::new(num_processes);
+        let nodes = (0..topo.len()).map(|_| Node::new()).collect();
+        let last = (0..num_processes)
+            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+            .collect();
+        Queue {
+            topo,
+            nodes,
+            last,
+            gc_period,
+            next_pid: AtomicUsize::new(0),
+        }
+    }
+
+    /// The number of processes this queue was created for.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.topo.num_processes()
+    }
+
+    /// The GC period `G` in use.
+    #[must_use]
+    pub fn gc_period(&self) -> usize {
+        self.gc_period
+    }
+
+    /// The queue's size after the last operation propagated to the root —
+    /// the `size` field of the newest root block (Lemma 16). Exact at
+    /// quiescence; see [`crate::unbounded::Queue::approx_len`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(7);
+    /// assert_eq!(q.approx_len(), 1);
+    /// ```
+    #[must_use]
+    pub fn approx_len(&self) -> usize {
+        let guard = epoch::pin();
+        let tref = self.node(self.topo.root()).load(&guard);
+        tref.tree.max().expect("trees are never empty").1.size
+    }
+
+    /// Registers the calling context as the next process, or `None` if all
+    /// handles are taken.
+    pub fn register(&self) -> Option<Handle<'_, T, F>> {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        if pid < self.topo.num_processes() {
+            Some(Handle { queue: self, pid })
+        } else {
+            None
+        }
+    }
+
+    /// Returns all remaining handles.
+    pub fn handles(&self) -> Vec<Handle<'_, T, F>> {
+        std::iter::from_fn(|| self.register()).collect()
+    }
+
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub(crate) fn node(&self, v: usize) -> &Node<T, F> {
+        &self.nodes[v]
+    }
+
+    /// Reads `last[k]` (one shared step).
+    pub(crate) fn last_of(&self, k: usize) -> usize {
+        metrics::record_shared_load();
+        self.last[k].load(Ordering::SeqCst)
+    }
+
+    /// Raises `last[pid]` to `value` if larger (only process `pid` writes
+    /// its own slot, Figure 5 lines 329/337).
+    pub(crate) fn raise_last(&self, pid: usize, value: usize) {
+        if value > self.last_of(pid) {
+            metrics::record_shared_store();
+            self.last[pid].store(value, Ordering::SeqCst);
+        }
+    }
+
+    /// `Enqueue(e)` — Figure 5 lines 201–205.
+    fn enqueue(&self, pid: usize, element: T) {
+        let leaf = self.topo.leaf_of(pid);
+        {
+            let guard = epoch::pin();
+            let tref = self.node(leaf).load(&guard);
+            let (max_key, prev) = tref.tree.max().expect("trees are never empty");
+            let h = max_key as usize + 1;
+            let block = Block::leaf_enqueue(h, element, prev);
+            let next = self.add_block(pid, leaf, tref.tree, block, &guard);
+            let published = self.node(leaf).try_publish(&tref, next, &guard);
+            assert!(published, "leaf trees have a single writer (the owner)");
+        }
+        self.propagate(pid, self.topo.parent(leaf));
+    }
+
+    /// `Dequeue()` — Figure 5 lines 206–217.
+    fn dequeue(&self, pid: usize) -> Option<T> {
+        let leaf = self.topo.leaf_of(pid);
+        let block;
+        let h;
+        {
+            let guard = epoch::pin();
+            let tref = self.node(leaf).load(&guard);
+            let (max_key, prev) = tref.tree.max().expect("trees are never empty");
+            h = max_key as usize + 1;
+            block = Block::leaf_dequeue(h, prev);
+            let next = self.add_block(pid, leaf, tref.tree, Arc::clone(&block), &guard);
+            let published = self.node(leaf).try_publish(&tref, next, &guard);
+            assert!(published, "leaf trees have a single writer (the owner)");
+        }
+        self.propagate(pid, self.topo.parent(leaf));
+        match self.complete_deq(pid, leaf, h) {
+            Ok(response) => response,
+            Err(Discarded) => {
+                // Lemma 28: a block needed to compute our response was
+                // discarded, which (Invariant 27) happens only after some
+                // helper wrote the response into our leaf block. The write
+                // happens-before the tree version we observed the discard
+                // in, so it is visible now; spin defensively regardless.
+                let cell = block
+                    .response()
+                    .expect("the block we appended is a dequeue block");
+                let mut spins = 0u64;
+                loop {
+                    if let Some(r) = cell.get() {
+                        return r.clone();
+                    }
+                    spins += 1;
+                    assert!(
+                        spins < 100_000_000,
+                        "discarded dequeue block without a helped response \
+                         (Invariant 27 violated)"
+                    );
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// `Propagate(v)` — Figure 5 lines 249–257 (iterative double refresh).
+    pub(crate) fn propagate(&self, pid: usize, v: usize) {
+        let mut v = v;
+        loop {
+            if !self.refresh(pid, v) {
+                self.refresh(pid, v);
+            }
+            if v == self.topo.root() {
+                return;
+            }
+            v = self.topo.parent(v);
+        }
+    }
+
+    /// `Refresh(v)` — Figure 5 lines 258–267.
+    fn refresh(&self, pid: usize, v: usize) -> bool {
+        let guard = epoch::pin();
+        let tref = self.node(v).load(&guard);
+        let (max_key, prev) = tref.tree.max().expect("trees are never empty");
+        let h = max_key as usize + 1;
+        match self.create_block(v, h, prev, &guard) {
+            // Nothing to propagate (line 262).
+            None => true,
+            Some(block) => {
+                let next = self.add_block(pid, v, tref.tree, block, &guard);
+                // Adversarial-scheduler race window; see the unbounded
+                // variant's Refresh for why a lost CAS is cheap here.
+                metrics::adversary_yield();
+                self.node(v).try_publish(&tref, next, &guard)
+            }
+        }
+    }
+
+    /// `CreateBlock(v, i)` — Figure 5 lines 307–324.
+    ///
+    /// Unlike the unbounded variant, all reads go through tree snapshots
+    /// taken *now*: the children's `MaxBlock` yields both the interval ends
+    /// and their prefix sums, so no index lookup (and hence no discarded
+    /// block) can occur here.
+    fn create_block(
+        &self,
+        v: usize,
+        i: usize,
+        prev: &Arc<Block<T>>,
+        guard: &epoch::Guard,
+    ) -> Option<Arc<Block<T>>> {
+        let ltree = self.node(self.topo.left(v)).load(guard);
+        let rtree = self.node(self.topo.right(v)).load(guard);
+        let (lkey, lmax) = ltree.tree.max().expect("trees are never empty");
+        let (rkey, rmax) = rtree.tree.max().expect("trees are never empty");
+        let endleft = lkey as usize;
+        let endright = rkey as usize;
+        let sumenq = lmax.sumenq + rmax.sumenq;
+        let sumdeq = lmax.sumdeq + rmax.sumdeq;
+        // Prefix sums are monotone, so no underflow (Lemma 4′/Invariant 7).
+        let numenq = sumenq - prev.sumenq;
+        let numdeq = sumdeq - prev.sumdeq;
+        if numenq + numdeq == 0 {
+            return None;
+        }
+        let size = if v == self.topo.root() {
+            (prev.size + numenq).saturating_sub(numdeq)
+        } else {
+            0
+        };
+        metrics::record_block_alloc();
+        Some(Block::internal(i, sumenq, sumdeq, endleft, endright, size))
+    }
+
+    /// `AddBlock(v, T, B)` — Figure 5 lines 222–233: insert `block` into
+    /// `tree`, running a GC phase first when the index hits the period.
+    fn add_block(
+        &self,
+        pid: usize,
+        v: usize,
+        tree: &BlockTree<T, F>,
+        block: Arc<Block<T>>,
+        guard: &epoch::Guard,
+    ) -> BlockTree<T, F> {
+        let key = block.index as u64;
+        if block.index.is_multiple_of(self.gc_period) {
+            metrics::record_gc_phase();
+            // s := SplitBlock(v).index (line 226).
+            let s = self.split_block(v, guard).index;
+            // Help every pending, propagated dequeue so blocks before s are
+            // finished (line 227).
+            self.help(pid);
+            // Split removes blocks with index < s (line 228), then insert.
+            tree.split_ge(s as u64).insert(key, block)
+        } else {
+            tree.insert(key, block)
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync, F: StoreFamily> fmt::Debug for Queue<T, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let guard = epoch::pin();
+        let root = self.node(self.topo.root()).load(&guard);
+        f.debug_struct("bounded::Queue")
+            .field("store", &F::NAME)
+            .field("num_processes", &self.topo.num_processes())
+            .field("gc_period", &self.gc_period)
+            .field("registered", &self.next_pid.load(Ordering::Relaxed))
+            .field("root_blocks", &root.tree.len())
+            .finish()
+    }
+}
+
+/// A per-process handle to a [`bounded::Queue`](Queue).
+///
+/// Same contract as [`crate::unbounded::Handle`]: one handle per process,
+/// `&mut self` per operation, `Send` across threads.
+pub struct Handle<'q, T: Clone + Send + Sync, F: StoreFamily = TreapBacked> {
+    queue: &'q Queue<T, F>,
+    pid: usize,
+}
+
+impl<'q, T: Clone + Send + Sync, F: StoreFamily> Handle<'q, T, F> {
+    /// Appends `value` to the back of the queue.
+    pub fn enqueue(&mut self, value: T) {
+        self.queue.enqueue(self.pid, value);
+    }
+
+    /// Removes and returns the front value, or `None` if the queue is empty
+    /// at the dequeue's linearization point.
+    #[must_use = "a dequeued value should be used (None means the queue was empty)"]
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.queue.dequeue(self.pid)
+    }
+
+    /// Dequeues until the queue reports empty, yielding each value; see
+    /// [`crate::unbounded::Handle::drain`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// h.enqueue(2);
+    /// assert_eq!(h.drain().collect::<Vec<_>>(), vec![1, 2]);
+    /// ```
+    pub fn drain<'a>(&'a mut self) -> impl Iterator<Item = T> + use<'a, 'q, T, F> {
+        std::iter::from_fn(move || self.dequeue())
+    }
+
+    /// This handle's process id (`0..num_processes`).
+    #[must_use]
+    pub fn process_id(&self) -> usize {
+        self.pid
+    }
+
+    /// The queue this handle belongs to.
+    #[must_use]
+    pub fn queue(&self) -> &'q Queue<T, F> {
+        self.queue
+    }
+}
+
+impl<T: Clone + Send + Sync, F: StoreFamily> fmt::Debug for Handle<'_, T, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("bounded::Handle")
+            .field("pid", &self.pid)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod unit_tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn default_gc_period_follows_paper() {
+        let q: Queue<u8> = Queue::new(4);
+        assert_eq!(q.gc_period(), 4 * 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gc_period")]
+    fn zero_gc_period_panics() {
+        let _: Queue<u8> = Queue::with_gc_period(2, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Selection of the persistent block store backing the bounded queue.
+//!
+//! The paper's §6 uses a persistent red–black tree; the construction only
+//! relies on the [`PersistentOrderedMap`] operation set
+//! (`wfqueue_pstore`), so the queue is generic over a [`StoreFamily`]:
+//!
+//! * [`TreapBacked`] (default) — `wfqueue_treap::PTreap`, randomized with
+//!   deterministic priorities, expected O(log n) operations;
+//! * [`AvlBacked`] — `wfqueue_avl::PAvl`, height-balanced, worst-case
+//!   O(log n) operations (matching the paper's worst-case amortized
+//!   analysis).
+//!
+//! The `a3_block_store` ablation bench compares the two inside the queue.
+
+use wfqueue_pstore::PersistentOrderedMap;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::TreapBacked {}
+    impl Sealed for super::AvlBacked {}
+}
+
+/// A family of persistent ordered maps usable as the queue's block store.
+///
+/// This trait is sealed: the two implementations below cover the expected-
+/// and worst-case balanced stores, and the queue's correctness argument
+/// (Appendix B) is oblivious to which is used.
+pub trait StoreFamily: sealed::Sealed + Send + Sync + 'static {
+    /// Short name used in experiment tables.
+    const NAME: &'static str;
+    /// The concrete map type for values `V`.
+    type Map<V: Clone + Send + Sync>: PersistentOrderedMap<V>;
+}
+
+/// Blocks stored in a persistent treap (expected O(log n); default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TreapBacked;
+
+impl StoreFamily for TreapBacked {
+    const NAME: &'static str = "treap";
+    type Map<V: Clone + Send + Sync> = wfqueue_treap::PTreap<V>;
+}
+
+/// Blocks stored in a persistent AVL tree (worst-case O(log n)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AvlBacked;
+
+impl StoreFamily for AvlBacked {
+    const NAME: &'static str = "avl";
+    type Map<V: Clone + Send + Sync> = wfqueue_avl::PAvl<V>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_maps_round_trip() {
+        fn probe<F: StoreFamily>() {
+            let m = F::Map::<u32>::empty().insert(1, 10).insert(2, 20);
+            assert_eq!(m.get(1), Some(&10));
+            assert_eq!(m.split_ge(2).entries(), vec![(2, 20)]);
+            assert!(!F::NAME.is_empty());
+        }
+        probe::<TreapBacked>();
+        probe::<AvlBacked>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Static ordering-tree topology (§3.1 of the paper).
+//!
+//! The ordering tree is a complete binary tree of height `⌈log₂ p⌉` with one
+//! leaf per process. It is laid out in the standard implicit heap order:
+//! node `1` is the root, node `i` has children `2i`/`2i+1` and parent
+//! `i / 2`. Leaves occupy positions `n..2n` where `n` is the number of leaf
+//! slots (`p` rounded up to a power of two, minimum 2 so the root is always
+//! internal). Unused leaves simply never receive operations.
+
+/// Shape of the ordering tree for a given number of processes.
+///
+/// # Examples
+///
+/// ```
+/// let t = wfqueue::topology::Topology::new(3);
+/// assert_eq!(t.leaf_slots(), 4);
+/// let leaf = t.leaf_of(2);
+/// assert!(t.is_leaf(leaf));
+/// assert_eq!(t.root(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    num_processes: usize,
+    leaf_base: usize,
+}
+
+impl Topology {
+    /// Builds the topology for `num_processes` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` is zero.
+    #[must_use]
+    pub fn new(num_processes: usize) -> Self {
+        assert!(num_processes > 0, "a queue needs at least one process");
+        let leaf_base = num_processes.next_power_of_two().max(2);
+        Topology {
+            num_processes,
+            leaf_base,
+        }
+    }
+
+    /// Number of processes (leaves actually in use).
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// Number of leaf slots (`p` rounded up to a power of two, min 2).
+    #[must_use]
+    pub fn leaf_slots(&self) -> usize {
+        self.leaf_base
+    }
+
+    /// Total number of node slots; valid tree positions are `1..len()`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        2 * self.leaf_base
+    }
+
+    /// Always false (a tree has at least a root and two leaves).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tree position of the root.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        1
+    }
+
+    /// Tree position of process `pid`'s leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= num_processes()`.
+    #[must_use]
+    pub fn leaf_of(&self, pid: usize) -> usize {
+        assert!(pid < self.num_processes, "pid {pid} out of range");
+        self.leaf_base + pid
+    }
+
+    /// Parent of tree position `v` (undefined for the root).
+    #[must_use]
+    pub fn parent(&self, v: usize) -> usize {
+        debug_assert!(v > 1);
+        v / 2
+    }
+
+    /// Left child of internal position `v`.
+    #[must_use]
+    pub fn left(&self, v: usize) -> usize {
+        debug_assert!(!self.is_leaf(v));
+        2 * v
+    }
+
+    /// Right child of internal position `v`.
+    #[must_use]
+    pub fn right(&self, v: usize) -> usize {
+        debug_assert!(!self.is_leaf(v));
+        2 * v + 1
+    }
+
+    /// Whether `v` is a leaf position.
+    #[must_use]
+    pub fn is_leaf(&self, v: usize) -> bool {
+        v >= self.leaf_base
+    }
+
+    /// Whether `v` is the left child of its parent.
+    #[must_use]
+    pub fn is_left_child(&self, v: usize) -> bool {
+        v.is_multiple_of(2)
+    }
+
+    /// The sibling of non-root position `v`.
+    #[must_use]
+    pub fn sibling(&self, v: usize) -> usize {
+        debug_assert!(v > 1);
+        v ^ 1
+    }
+
+    /// Height of the tree (number of edges from leaf to root), `⌈log₂ p⌉`
+    /// with a minimum of 1.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.leaf_base.trailing_zeros() as usize
+    }
+
+    /// Iterator over the path from `v` (inclusive) to the root (inclusive).
+    pub fn path_to_root(&self, v: usize) -> impl Iterator<Item = usize> {
+        let mut cur = Some(v);
+        std::iter::from_fn(move || {
+            let here = cur?;
+            cur = if here == 1 { None } else { Some(here / 2) };
+            Some(here)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        let _ = Topology::new(0);
+    }
+
+    #[test]
+    fn single_process_still_has_internal_root() {
+        let t = Topology::new(1);
+        assert_eq!(t.leaf_slots(), 2);
+        assert_eq!(t.root(), 1);
+        assert!(!t.is_leaf(t.root()));
+        assert!(t.is_leaf(t.leaf_of(0)));
+        assert_eq!(t.parent(t.leaf_of(0)), t.root());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn power_of_two_rounding() {
+        for (p, slots) in [(1, 2), (2, 2), (3, 4), (4, 4), (5, 8), (9, 16), (64, 64)] {
+            let t = Topology::new(p);
+            assert_eq!(t.leaf_slots(), slots, "p={p}");
+            assert_eq!(t.len(), 2 * slots);
+        }
+    }
+
+    #[test]
+    fn child_parent_round_trip() {
+        let t = Topology::new(8);
+        for v in 1..t.leaf_slots() {
+            assert_eq!(t.parent(t.left(v)), v);
+            assert_eq!(t.parent(t.right(v)), v);
+            assert!(t.is_left_child(t.left(v)));
+            assert!(!t.is_left_child(t.right(v)));
+            assert_eq!(t.sibling(t.left(v)), t.right(v));
+            assert_eq!(t.sibling(t.right(v)), t.left(v));
+        }
+    }
+
+    #[test]
+    fn leaves_are_leaves_and_distinct() {
+        let t = Topology::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for pid in 0..5 {
+            let leaf = t.leaf_of(pid);
+            assert!(t.is_leaf(leaf));
+            assert!(seen.insert(leaf), "leaf reused");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_of_out_of_range_panics() {
+        let t = Topology::new(2);
+        let _ = t.leaf_of(2);
+    }
+
+    #[test]
+    fn path_to_root_has_height_plus_one_nodes() {
+        let t = Topology::new(16);
+        let path: Vec<_> = t.path_to_root(t.leaf_of(7)).collect();
+        assert_eq!(path.len(), t.height() + 1);
+        assert_eq!(*path.last().unwrap(), t.root());
+        assert_eq!(path[0], t.leaf_of(7));
+        for w in path.windows(2) {
+            assert_eq!(t.parent(w[0]), w[1]);
+        }
+    }
+
+    #[test]
+    fn height_is_ceil_log2_p() {
+        for (p, h) in [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            assert_eq!(Topology::new(p).height(), h, "p={p}");
+        }
+    }
+}

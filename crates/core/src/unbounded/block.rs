@@ -1,0 +1,175 @@
+//! Blocks of the unbounded queue (Figure 3 of the paper).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wfqueue_metrics as metrics;
+
+use crate::NIL;
+
+/// One block in a node's `blocks` array.
+///
+/// Leaf blocks represent a single operation (`element` is `Some(v)` for
+/// `Enqueue(v)`, `None` for a `Dequeue`). Internal blocks implicitly
+/// represent the operations of their direct subblocks through the
+/// `endleft`/`endright` interval ends; `sumenq`/`sumdeq` are prefix sums
+/// over the whole `blocks` array (Invariant 7), and root blocks additionally
+/// carry the queue `size` after the block's operations.
+///
+/// All fields are immutable after construction except `sup` (the paper's
+/// `super`), which is written at most once by a CAS in `Advance`.
+#[derive(Debug)]
+pub(crate) struct Block<T> {
+    /// `|E(blocks[0]) · … · E(blocks[i])|` for a block at index `i`.
+    pub sumenq: usize,
+    /// `|D(blocks[0]) · … · D(blocks[i])|` for a block at index `i`.
+    pub sumdeq: usize,
+    /// Index of the last direct subblock in the left child (internal nodes).
+    pub endleft: usize,
+    /// Index of the last direct subblock in the right child (internal nodes).
+    pub endright: usize,
+    /// Queue size after this block's operations (root node only).
+    pub size: usize,
+    /// Approximate index of this block's superblock in the parent's
+    /// `blocks` array; off by at most one (Lemma 12). `NIL` until set.
+    sup: AtomicUsize,
+    /// Enqueued value for a leaf enqueue block; `None` otherwise.
+    pub element: Option<T>,
+}
+
+impl<T> Block<T> {
+    /// The empty block installed at index 0 of every node ("blocks\[0\] is
+    /// an empty block whose integer fields are 0", Figure 3).
+    pub fn dummy() -> Self {
+        Block {
+            sumenq: 0,
+            sumdeq: 0,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            sup: AtomicUsize::new(NIL),
+            element: None,
+        }
+    }
+
+    /// A fresh leaf block for `Enqueue(element)` (Figure 4 line 2).
+    pub fn leaf_enqueue(element: T, prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        Block {
+            sumenq: prev_sumenq + 1,
+            sumdeq: prev_sumdeq,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            sup: AtomicUsize::new(NIL),
+            element: Some(element),
+        }
+    }
+
+    /// A fresh leaf block for a `Dequeue` (Figure 4 line 6).
+    pub fn leaf_dequeue(prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        Block {
+            sumenq: prev_sumenq,
+            sumdeq: prev_sumdeq + 1,
+            endleft: 0,
+            endright: 0,
+            size: 0,
+            sup: AtomicUsize::new(NIL),
+            element: None,
+        }
+    }
+
+    /// A fresh internal block created by `CreateBlock` (Figure 4 lines
+    /// 40–57).
+    pub fn internal(
+        sumenq: usize,
+        sumdeq: usize,
+        endleft: usize,
+        endright: usize,
+        size: usize,
+    ) -> Self {
+        Block {
+            sumenq,
+            sumdeq,
+            endleft,
+            endright,
+            size,
+            sup: AtomicUsize::new(NIL),
+            element: None,
+        }
+    }
+
+    /// Reads the `super` field (one shared load). Returns `None` if unset.
+    pub fn sup(&self) -> Option<usize> {
+        metrics::record_shared_load();
+        match self.sup.load(Ordering::SeqCst) {
+            NIL => None,
+            s => Some(s),
+        }
+    }
+
+    /// CAS `super` from unset to `value` (Figure 4 line 61); counted as one
+    /// CAS step. Loses silently if already set, as in the paper.
+    pub fn try_set_sup(&self, value: usize) {
+        let r = self
+            .sup
+            .compare_exchange(NIL, value, Ordering::SeqCst, Ordering::SeqCst);
+        metrics::record_cas(r.is_ok());
+    }
+
+    /// The interval end for the given direction.
+    pub fn end(&self, left: bool) -> usize {
+        if left {
+            self.endleft
+        } else {
+            self.endright
+        }
+    }
+
+    /// Whether this leaf block represents a dequeue (non-dummy, no element).
+    pub fn is_leaf_dequeue(&self) -> bool {
+        self.element.is_none() && self.sumdeq > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_all_zero() {
+        let b: Block<u32> = Block::dummy();
+        assert_eq!(
+            (b.sumenq, b.sumdeq, b.endleft, b.endright, b.size),
+            (0, 0, 0, 0, 0)
+        );
+        assert!(b.element.is_none());
+        assert!(b.sup().is_none());
+    }
+
+    #[test]
+    fn leaf_blocks_extend_prefix_sums() {
+        let e = Block::leaf_enqueue("x", 4, 7);
+        assert_eq!((e.sumenq, e.sumdeq), (5, 7));
+        assert_eq!(e.element, Some("x"));
+        assert!(!e.is_leaf_dequeue());
+
+        let d: Block<&str> = Block::leaf_dequeue(4, 7);
+        assert_eq!((d.sumenq, d.sumdeq), (4, 8));
+        assert!(d.element.is_none());
+        assert!(d.is_leaf_dequeue());
+    }
+
+    #[test]
+    fn sup_is_write_once() {
+        let b: Block<u8> = Block::dummy();
+        b.try_set_sup(3);
+        b.try_set_sup(9);
+        assert_eq!(b.sup(), Some(3));
+    }
+
+    #[test]
+    fn end_selects_direction() {
+        let b: Block<u8> = Block::internal(1, 2, 10, 20, 0);
+        assert_eq!(b.end(true), 10);
+        assert_eq!(b.end(false), 20);
+    }
+}

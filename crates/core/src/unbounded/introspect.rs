@@ -1,0 +1,349 @@
+//! Read-only introspection of the ordering tree: dumps in the style of
+//! Figure 2 of the paper, machine-checkable invariants, and reconstruction
+//! of the linearization order `L` (equation 3.2).
+//!
+//! These helpers are meant for tests, examples and experiment harnesses.
+//! They read the shared structure with the same atomic loads as the
+//! algorithm, so they are safe to call at any time, but the results are
+//! only meaningful when the queue is quiescent (no operations in flight).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+
+use super::queue::Queue;
+
+/// A snapshot of one block (Figure 2/3 fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Position in the node's `blocks` array.
+    pub index: usize,
+    /// Prefix count of enqueues (Invariant 7).
+    pub sumenq: usize,
+    /// Prefix count of dequeues (Invariant 7).
+    pub sumdeq: usize,
+    /// Last direct subblock in the left child (internal blocks).
+    pub endleft: usize,
+    /// Last direct subblock in the right child (internal blocks).
+    pub endright: usize,
+    /// Queue size after this block (root blocks).
+    pub size: usize,
+    /// The `super` hint, if already set.
+    pub sup: Option<usize>,
+    /// Rendered element for leaf enqueue blocks.
+    pub element: Option<String>,
+    /// Whether this is a leaf dequeue block.
+    pub is_dequeue: bool,
+}
+
+/// A snapshot of one ordering-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Tree position (1 = root; heap order).
+    pub position: usize,
+    /// Whether the node is a leaf.
+    pub is_leaf: bool,
+    /// Whether the node is the root.
+    pub is_root: bool,
+    /// Current `head` value.
+    pub head: usize,
+    /// Installed blocks `0..` (dense prefix; may include `blocks[head]`).
+    pub blocks: Vec<BlockInfo>,
+}
+
+/// One operation of the linearization order `L`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinOp<T> {
+    /// An enqueue of the given value.
+    Enqueue(T),
+    /// A dequeue (its response is derived by replaying `L`; see [`replay`]).
+    Dequeue,
+}
+
+/// Takes a snapshot of every node of the queue's ordering tree.
+pub fn dump<T>(queue: &Queue<T>) -> Vec<NodeInfo>
+where
+    T: Clone + Send + Sync + fmt::Debug,
+{
+    let topo = *queue.topology();
+    (1..topo.len())
+        .map(|v| {
+            let node = queue.node(v);
+            let head = node.head();
+            let mut blocks = Vec::new();
+            let mut i = 0;
+            while let Some(b) = node.block(i) {
+                blocks.push(BlockInfo {
+                    index: i,
+                    sumenq: b.sumenq,
+                    sumdeq: b.sumdeq,
+                    endleft: b.endleft,
+                    endright: b.endright,
+                    size: b.size,
+                    sup: b.sup(),
+                    element: b.element.as_ref().map(|e| format!("{e:?}")),
+                    is_dequeue: topo.is_leaf(v) && i > 0 && b.is_leaf_dequeue(),
+                });
+                i += 1;
+            }
+            NodeInfo {
+                position: v,
+                is_leaf: topo.is_leaf(v),
+                is_root: v == topo.root(),
+                head,
+                blocks,
+            }
+        })
+        .collect()
+}
+
+/// Renders a dump as indented text in the spirit of Figure 2 of the paper.
+#[must_use]
+pub fn render(nodes: &[NodeInfo]) -> String {
+    let mut out = String::new();
+    for n in nodes {
+        let kind = if n.is_root {
+            "root"
+        } else if n.is_leaf {
+            "leaf"
+        } else {
+            "internal"
+        };
+        let depth = usize::BITS as usize - 1 - n.position.leading_zeros() as usize;
+        let indent = "  ".repeat(depth);
+        let _ = writeln!(out, "{indent}node {} ({kind}), head={}", n.position, n.head);
+        for b in &n.blocks {
+            let _ = write!(
+                out,
+                "{indent}  [{}] sumenq={} sumdeq={}",
+                b.index, b.sumenq, b.sumdeq
+            );
+            if !n.is_leaf {
+                let _ = write!(out, " endleft={} endright={}", b.endleft, b.endright);
+            }
+            if n.is_root {
+                let _ = write!(out, " size={}", b.size);
+            }
+            if let Some(s) = b.sup {
+                let _ = write!(out, " super={s}");
+            }
+            if let Some(e) = &b.element {
+                let _ = write!(out, " Enq({e})");
+            } else if b.is_dequeue {
+                let _ = write!(out, " Deq");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Reconstructs the linearization `L` (equation 3.2): for each root block,
+/// its enqueue sequence `E(B)` followed by its dequeues `D(B)`.
+pub fn linearization<T>(queue: &Queue<T>) -> Vec<LinOp<T>>
+where
+    T: Clone + Send + Sync,
+{
+    let topo = *queue.topology();
+    let root = topo.root();
+    let mut out = Vec::new();
+    let mut b = 1;
+    while queue.node(root).block(b).is_some() {
+        let (enqs, deqs) = block_ops(queue, root, b);
+        out.extend(enqs.into_iter().map(LinOp::Enqueue));
+        out.extend(std::iter::repeat_with(|| LinOp::Dequeue).take(deqs));
+        b += 1;
+    }
+    out
+}
+
+/// Recursively expands `E(v.blocks[b])` and `|D(v.blocks[b])|` from the
+/// definition of subblocks (equations 3.1 and 3.3).
+fn block_ops<T>(queue: &Queue<T>, v: usize, b: usize) -> (Vec<T>, usize)
+where
+    T: Clone + Send + Sync,
+{
+    let topo = *queue.topology();
+    let node = queue.node(v);
+    let blk = node.block(b).expect("block_ops called on installed block");
+    if topo.is_leaf(v) {
+        return match &blk.element {
+            Some(e) => (vec![e.clone()], 0),
+            None => (vec![], 1),
+        };
+    }
+    let prev = node.block(b - 1).expect("dense prefix");
+    let mut enqs = Vec::new();
+    let mut deqs = 0;
+    for (child, lo, hi) in [
+        (topo.left(v), prev.endleft + 1, blk.endleft),
+        (topo.right(v), prev.endright + 1, blk.endright),
+    ] {
+        for sub in lo..=hi {
+            let (e, d) = block_ops(queue, child, sub);
+            enqs.extend(e);
+            deqs += d;
+        }
+    }
+    (enqs, deqs)
+}
+
+/// Replays a linearization against the sequential queue specification,
+/// returning each dequeue's response (in `L` order) and the final contents.
+#[must_use]
+pub fn replay<T: Clone>(lin: &[LinOp<T>]) -> (Vec<Option<T>>, Vec<T>) {
+    let mut state: VecDeque<T> = VecDeque::new();
+    let mut responses = Vec::new();
+    for op in lin {
+        match op {
+            LinOp::Enqueue(v) => state.push_back(v.clone()),
+            LinOp::Dequeue => responses.push(state.pop_front()),
+        }
+    }
+    (responses, state.into_iter().collect())
+}
+
+/// Machine-checks the structural invariants of the ordering tree:
+/// Invariant 3 (dense prefix, `super` set below `head`), Lemma 4
+/// (monotone interval ends), Invariant 7 (prefix sums agree with
+/// children), Corollary 8 (no empty blocks), Lemma 12 (`super` off by at
+/// most one), and Lemma 16 (root `size` recurrence).
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant. Call only while
+/// the queue is quiescent; in-flight operations can make the snapshot
+/// internally inconsistent.
+pub fn check_invariants<T>(queue: &Queue<T>) -> Result<(), String>
+where
+    T: Clone + Send + Sync,
+{
+    let topo = *queue.topology();
+    for v in 1..topo.len() {
+        let node = queue.node(v);
+        let head = node.head();
+        // Invariant 3: blocks[0..head) installed; nothing beyond head.
+        for i in 0..head {
+            if node.block(i).is_none() {
+                return Err(format!("node {v}: hole at {i} below head {head}"));
+            }
+        }
+        for i in head + 1..head + 4 {
+            if node.block(i).is_some() {
+                return Err(format!("node {v}: block {i} installed beyond head {head}"));
+            }
+        }
+        let installed = if node.block(head).is_some() {
+            head + 1
+        } else {
+            head
+        };
+        for i in 1..installed {
+            let blk = node.block(i).expect("checked installed");
+            let prev = node.block(i - 1).expect("checked installed");
+            // Invariant 3 (third claim): super set below head (non-root).
+            if v != topo.root() && i < head && blk.sup().is_none() {
+                return Err(format!("node {v}: block {i} below head {head} has unset super"));
+            }
+            if blk.sumenq < prev.sumenq || blk.sumdeq < prev.sumdeq {
+                return Err(format!("node {v}: prefix sums decrease at block {i}"));
+            }
+            let numenq = blk.sumenq - prev.sumenq;
+            let numdeq = blk.sumdeq - prev.sumdeq;
+            // Corollary 8: installed blocks are non-empty.
+            if i > 0 && numenq + numdeq == 0 {
+                return Err(format!("node {v}: block {i} is empty (Corollary 8)"));
+            }
+            if topo.is_leaf(v) {
+                if numenq + numdeq != 1 {
+                    return Err(format!("node {v}: leaf block {i} holds {numenq}+{numdeq} ops"));
+                }
+                if (numenq == 1) != blk.element.is_some() {
+                    return Err(format!("node {v}: leaf block {i} element/op mismatch"));
+                }
+            } else {
+                // Lemma 4: interval ends are monotone.
+                if blk.endleft < prev.endleft || blk.endright < prev.endright {
+                    return Err(format!("node {v}: interval ends decrease at block {i}"));
+                }
+                // Invariant 7: sums match the children's prefix sums at the
+                // interval ends.
+                let left = queue.node(topo.left(v));
+                let right = queue.node(topo.right(v));
+                let (le, re) = (blk.endleft, blk.endright);
+                let (lb, rb) = match (left.block(le), right.block(re)) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(format!(
+                            "node {v}: block {i} references missing subblocks ({le},{re})"
+                        ))
+                    }
+                };
+                if blk.sumenq != lb.sumenq + rb.sumenq || blk.sumdeq != lb.sumdeq + rb.sumdeq {
+                    return Err(format!("node {v}: Invariant 7 violated at block {i}"));
+                }
+                if v == topo.root() {
+                    // Lemma 16: size recurrence.
+                    let expect = (prev.size + numenq).saturating_sub(numdeq);
+                    if blk.size != expect {
+                        return Err(format!(
+                            "root: size {} != max(0,{}+{}-{}) at block {i}",
+                            blk.size, prev.size, numenq, numdeq
+                        ));
+                    }
+                }
+            }
+        }
+        // Lemma 12: super off by at most one from the true superblock index.
+        if v != topo.root() {
+            let parent = queue.node(topo.parent(v));
+            let is_left = topo.is_left_child(v);
+            let mut pi = 1;
+            while let (Some(pb), Some(pprev)) = (parent.block(pi), parent.block(pi - 1)) {
+                let (lo, hi) = if is_left {
+                    (pprev.endleft + 1, pb.endleft)
+                } else {
+                    (pprev.endright + 1, pb.endright)
+                };
+                for child_idx in lo..=hi {
+                    let cb = match node.block(child_idx) {
+                        Some(cb) => cb,
+                        None => {
+                            return Err(format!(
+                                "node {v}: parent block {pi} covers missing block {child_idx}"
+                            ))
+                        }
+                    };
+                    if let Some(sup) = cb.sup() {
+                        if sup != pi && sup + 1 != pi {
+                            return Err(format!(
+                                "node {v}: block {child_idx} super {sup} but true index {pi}"
+                            ));
+                        }
+                    }
+                }
+                pi += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Total blocks currently installed across all nodes (space accounting for
+/// experiment E7).
+pub fn total_blocks<T>(queue: &Queue<T>) -> usize
+where
+    T: Clone + Send + Sync,
+{
+    let topo = *queue.topology();
+    (1..topo.len())
+        .map(|v| {
+            let node = queue.node(v);
+            let mut i = 0;
+            while node.block(i).is_some() {
+                i += 1;
+            }
+            i
+        })
+        .sum()
+}

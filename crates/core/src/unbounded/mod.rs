@@ -1,0 +1,28 @@
+//! The unbounded-space queue of §3–§5 of the paper.
+//!
+//! This is the construction proved linearizable in Theorem 18, with
+//! `O(log p)` steps per `Enqueue` / null `Dequeue` and
+//! `O(log² p + log q)` steps per non-null `Dequeue` (Theorem 22), and
+//! `O(log p)` CAS instructions per operation (Proposition 19). Blocks are
+//! write-once and live until the queue is dropped; see [`crate::bounded`]
+//! for the space-bounded variant.
+//!
+//! Module layout mirrors the paper's Figure 4:
+//! [`queue`](self) holds `Enqueue`/`Dequeue`/`Append`/`Propagate`/`Refresh`/
+//! `CreateBlock`/`Advance`; the search routines `IndexDequeue`/
+//! `FindResponse`/`GetEnqueue` live in `search`; [`introspect`] exposes
+//! read-only dumps and machine-checkable invariants (Invariant 3/7, Lemmas
+//! 4/12/16) used by tests, examples and the Figure 1/2 reproduction.
+
+mod block;
+mod node;
+mod queue;
+mod search;
+
+pub mod ablation;
+pub mod introspect;
+
+pub use queue::{Handle, Queue};
+
+#[cfg(test)]
+mod tests;

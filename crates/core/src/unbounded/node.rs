@@ -1,0 +1,99 @@
+//! Ordering-tree nodes of the unbounded queue (Figure 3 of the paper).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+use wfqueue_metrics as metrics;
+use wfqueue_segvec::SegVec;
+
+use super::block::Block;
+
+/// One node of the ordering tree: an infinite write-once `blocks` array and
+/// the `head` index of the next free slot.
+///
+/// `blocks[0]` holds the dummy block and `head` starts at 1, exactly as in
+/// Figure 3. Blocks are only ever installed at `head` by a CAS and `head`
+/// only ever advances by one past a non-null block, which maintains
+/// Invariant 3: `blocks[0..head)` are installed, everything from `head + 1`
+/// on is empty.
+pub(crate) struct Node<T> {
+    head: CachePadded<AtomicUsize>,
+    pub blocks: SegVec<Block<T>>,
+}
+
+impl<T> Node<T> {
+    pub fn new() -> Self {
+        let blocks = SegVec::new();
+        blocks
+            .try_install(0, Box::new(Block::dummy()))
+            .ok()
+            .expect("installing the dummy block in a fresh node cannot fail");
+        Node {
+            head: CachePadded::new(AtomicUsize::new(1)),
+            blocks,
+        }
+    }
+
+    /// Reads `head` (one shared step).
+    pub fn head(&self) -> usize {
+        metrics::record_shared_load();
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// CAS `head` from `h` to `h + 1` (Figure 4 line 63); one CAS step.
+    pub fn try_advance_head(&self, h: usize) {
+        let r = self
+            .head
+            .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);
+        metrics::record_cas(r.is_ok());
+    }
+
+    /// The block at `index`, if installed.
+    pub fn block(&self, index: usize) -> Option<&Block<T>> {
+        self.blocks.get(index)
+    }
+
+    /// The block at `index`, which the caller knows is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty, i.e. if the stated invariant is violated.
+    pub fn block_installed(&self, index: usize, why: &'static str) -> &Block<T> {
+        match self.blocks.get(index) {
+            Some(b) => b,
+            None => panic!("block {index} must be installed: {why}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_has_dummy_and_head_one() {
+        let n: Node<u32> = Node::new();
+        assert_eq!(n.head(), 1);
+        assert!(n.block(0).is_some());
+        assert!(n.block(1).is_none());
+        assert_eq!(n.block(0).unwrap().sumenq, 0);
+    }
+
+    #[test]
+    fn advance_head_is_cas_like() {
+        let n: Node<u32> = Node::new();
+        n.try_advance_head(5); // wrong expected value: no-op
+        assert_eq!(n.head(), 1);
+        n.try_advance_head(1);
+        assert_eq!(n.head(), 2);
+        n.try_advance_head(1); // stale: no-op
+        assert_eq!(n.head(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be installed")]
+    fn block_installed_panics_on_hole() {
+        let n: Node<u32> = Node::new();
+        let _ = n.block_installed(3, "test expects a hole");
+    }
+}

@@ -1,0 +1,332 @@
+//! The unbounded-space wait-free queue (Figure 4 of the paper).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wfqueue_metrics as metrics;
+
+use super::block::Block;
+use super::node::Node;
+use crate::topology::Topology;
+
+/// The unbounded-space wait-free queue of Naderibeni & Ruppert (§3–§5).
+///
+/// Created with a fixed maximum number of processes `p`; each process
+/// obtains a [`Handle`] bound to its own leaf of the ordering tree and
+/// performs operations through it. Enqueues take `O(log p)` shared-memory
+/// steps; dequeues take `O(log² p + log q)` steps; every operation performs
+/// `O(log p)` CAS instructions (Proposition 19, Theorem 22).
+///
+/// This variant never reclaims blocks — memory grows with the number of
+/// operations, exactly as in §3 of the paper (space bounding is what
+/// [`crate::bounded::Queue`] adds). All memory is released when the queue is
+/// dropped.
+///
+/// # Examples
+///
+/// ```
+/// let q: wfqueue::unbounded::Queue<&str> = wfqueue::unbounded::Queue::new(1);
+/// let mut h = q.register().expect("one handle available");
+/// h.enqueue("a");
+/// h.enqueue("b");
+/// assert_eq!(h.dequeue(), Some("a"));
+/// assert_eq!(h.dequeue(), Some("b"));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct Queue<T> {
+    topo: Topology,
+    /// Nodes indexed by tree position (`1..topo.len()`; position 0 unused).
+    nodes: Vec<Node<T>>,
+    next_pid: AtomicUsize,
+}
+
+impl<T: Clone + Send + Sync> Queue<T> {
+    /// Creates a queue for at most `num_processes` concurrent processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` is zero.
+    #[must_use]
+    pub fn new(num_processes: usize) -> Self {
+        let topo = Topology::new(num_processes);
+        let nodes = (0..topo.len()).map(|_| Node::new()).collect();
+        Queue {
+            topo,
+            nodes,
+            next_pid: AtomicUsize::new(0),
+        }
+    }
+
+    /// The number of processes this queue was created for.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.topo.num_processes()
+    }
+
+    /// The queue's size after the last operation propagated to the root —
+    /// the `size` field of the newest root block (Lemma 16).
+    ///
+    /// This is exact at quiescence and otherwise a recent-past snapshot
+    /// (operations still propagating are not yet counted), which is the
+    /// strongest "length" any linearizable queue can offer concurrently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// h.enqueue(2);
+    /// assert_eq!(q.approx_len(), 2);
+    /// ```
+    #[must_use]
+    pub fn approx_len(&self) -> usize {
+        let root = self.topo.root();
+        let node = self.node(root);
+        let h = node.head();
+        // head may lag one behind an installed block (Invariant 3).
+        let last = if node.block(h).is_some() { h } else { h - 1 };
+        node.block_installed(last, "Invariant 3: root prefix is installed")
+            .size
+    }
+
+    /// Registers the calling context as the next process, returning its
+    /// handle, or `None` if all `num_processes` handles have been taken.
+    pub fn register(&self) -> Option<Handle<'_, T>> {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        if pid < self.topo.num_processes() {
+            Some(Handle { queue: self, pid })
+        } else {
+            None
+        }
+    }
+
+    /// Returns all remaining handles (convenient with scoped threads).
+    pub fn handles(&self) -> Vec<Handle<'_, T>> {
+        std::iter::from_fn(|| self.register()).collect()
+    }
+
+    pub(crate) fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub(crate) fn node(&self, v: usize) -> &Node<T> {
+        &self.nodes[v]
+    }
+
+    /// `Enqueue(e)` — Figure 4 lines 1–4.
+    fn enqueue(&self, pid: usize, element: T) {
+        let leaf = self.topo.leaf_of(pid);
+        let node = self.node(leaf);
+        let h = node.head();
+        let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
+        let block = Block::leaf_enqueue(element, prev.sumenq, prev.sumdeq);
+        self.append(leaf, h, block);
+    }
+
+    /// `Dequeue()` — Figure 4 lines 5–10.
+    fn dequeue(&self, pid: usize) -> Option<T> {
+        let leaf = self.topo.leaf_of(pid);
+        let node = self.node(leaf);
+        let h = node.head();
+        let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
+        let block = Block::leaf_dequeue(prev.sumenq, prev.sumdeq);
+        self.append(leaf, h, block);
+        let (b, i) = self.index_dequeue(leaf, h, 1);
+        self.find_response(b, i)
+    }
+
+    /// `Append(B)` — Figure 4 lines 11–15.
+    ///
+    /// One deliberate elaboration of the pseudocode: the paper's line 13
+    /// (`leaf.head := leaf.head + 1`) is performed here as a full
+    /// `Advance(leaf, h)`, i.e. we also set the new block's `super` field
+    /// before advancing `head`. This matches the proof obligations of
+    /// Invariant 3 ("`head` can only be incremented by line 63 of `Advance`")
+    /// and Lemma 12, which require every block below `head` to have its
+    /// `super` set; a bare increment at the leaf would leave `super` unset
+    /// whenever no concurrent `Refresh` happens to observe the block first,
+    /// and `IndexDequeue` (line 72) reads `super` at the leaf level.
+    fn append(&self, leaf: usize, h: usize, block: Block<T>) {
+        metrics::record_block_alloc();
+        self.node(leaf)
+            .blocks
+            .try_install(h, Box::new(block))
+            .ok()
+            .expect("leaf blocks have a single writer (the owning process)");
+        self.advance(leaf, h);
+        self.propagate(self.topo.parent(leaf));
+    }
+
+    /// `Propagate(v)` — Figure 4 lines 16–23 (iterative up the tree).
+    fn propagate(&self, v: usize) {
+        let mut v = v;
+        loop {
+            if !self.refresh(v) {
+                // Double refresh: if the second also fails, some concurrent
+                // Refresh already propagated everything we needed (Lemma 10).
+                self.refresh(v);
+            }
+            if v == self.topo.root() {
+                return;
+            }
+            v = self.topo.parent(v);
+        }
+    }
+
+    /// `Refresh(v)` — Figure 4 lines 24–39. Returns whether the CAS
+    /// installed our block (or there was nothing to propagate).
+    fn refresh(&self, v: usize) -> bool {
+        let node = self.node(v);
+        let h = node.head();
+        // Help children catch up so CreateBlock sees their latest blocks
+        // (lines 26–31).
+        for child in [self.topo.left(v), self.topo.right(v)] {
+            let child_head = self.node(child).head();
+            if self.node(child).block(child_head).is_some() {
+                self.advance(child, child_head);
+            }
+        }
+        match self.create_block(v, h) {
+            // Nothing to propagate (line 33).
+            None => true,
+            Some(block) => {
+                metrics::record_block_alloc();
+                // Same read-to-CAS window as every CAS loop; under the
+                // adversarial scheduler this yield maximises lost CASes —
+                // unlike a retry loop, a loss here never costs more than the
+                // second Refresh (Lemma 10).
+                metrics::adversary_yield();
+                let installed = node.blocks.try_install(h, Box::new(block)).is_ok();
+                self.advance(v, h);
+                installed
+            }
+        }
+    }
+
+    /// `CreateBlock(v, i)` — Figure 4 lines 40–57. Returns `None` if the
+    /// children contain no new operations.
+    fn create_block(&self, v: usize, i: usize) -> Option<Block<T>> {
+        let left = self.node(self.topo.left(v));
+        let right = self.node(self.topo.right(v));
+        let endleft = left.head() - 1;
+        let endright = right.head() - 1;
+        let lsum = left.block_installed(endleft, "Invariant 3: blocks[head-1] is installed");
+        let rsum = right.block_installed(endright, "Invariant 3: blocks[head-1] is installed");
+        let sumenq = lsum.sumenq + rsum.sumenq;
+        let sumdeq = lsum.sumdeq + rsum.sumdeq;
+        let prev = self
+            .node(v)
+            .block_installed(i - 1, "Invariant 3: blocks[h-1] was installed when h was read");
+        // Counts of operations the new block would propagate (lines 47–48);
+        // prefix sums are monotone (Lemma 4 + Invariant 7) so these cannot
+        // underflow.
+        let numenq = sumenq - prev.sumenq;
+        let numdeq = sumdeq - prev.sumdeq;
+        if numenq + numdeq == 0 {
+            return None;
+        }
+        let size = if v == self.topo.root() {
+            // size := max(0, prev.size + numenq − numdeq) (line 50).
+            (prev.size + numenq).saturating_sub(numdeq)
+        } else {
+            0
+        };
+        Some(Block::internal(sumenq, sumdeq, endleft, endright, size))
+    }
+
+    /// `Advance(v, h)` — Figure 4 lines 58–64: set `blocks[h].super` from
+    /// the parent's `head`, then advance `v.head` from `h` to `h + 1`.
+    fn advance(&self, v: usize, h: usize) {
+        if v != self.topo.root() {
+            let parent_head = self.node(self.topo.parent(v)).head();
+            let block = self
+                .node(v)
+                .block_installed(h, "Advance is only called once blocks[h] is installed");
+            block.try_set_sup(parent_head);
+        }
+        self.node(v).try_advance_head(h);
+    }
+}
+
+impl<T: Clone + Send + Sync> fmt::Debug for Queue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("unbounded::Queue")
+            .field("num_processes", &self.topo.num_processes())
+            .field("registered", &self.next_pid.load(Ordering::Relaxed))
+            .field("root_head", &self.node(self.topo.root()).head())
+            .finish()
+    }
+}
+
+/// A per-process handle to an [`unbounded::Queue`](Queue).
+///
+/// Each handle owns one leaf of the ordering tree; operations take
+/// `&mut self`, which enforces the paper's model of one pending operation
+/// per process. Handles are `Send`, so they can be moved into threads.
+///
+/// # Examples
+///
+/// ```
+/// let q = wfqueue::unbounded::Queue::new(2);
+/// let mut h = q.register().unwrap();
+/// h.enqueue(7u32);
+/// assert_eq!(h.dequeue(), Some(7));
+/// ```
+pub struct Handle<'q, T> {
+    queue: &'q Queue<T>,
+    pid: usize,
+}
+
+impl<'q, T: Clone + Send + Sync> Handle<'q, T> {
+    /// Appends `value` to the back of the queue (`O(log p)` steps).
+    pub fn enqueue(&mut self, value: T) {
+        self.queue.enqueue(self.pid, value);
+    }
+
+    /// Removes and returns the front value, or `None` if the queue is empty
+    /// at the dequeue's linearization point (`O(log² p + log q)` steps).
+    #[must_use = "a dequeued value should be used (None means the queue was empty)"]
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.queue.dequeue(self.pid)
+    }
+
+    /// Dequeues until the queue reports empty, yielding each value.
+    ///
+    /// The iterator is lazy: values are removed as it is advanced. Other
+    /// processes may enqueue concurrently, so `drain` ending only means the
+    /// queue *was* empty at that dequeue's linearization point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// h.enqueue(2);
+    /// assert_eq!(h.drain().collect::<Vec<_>>(), vec![1, 2]);
+    /// ```
+    pub fn drain<'a>(&'a mut self) -> impl Iterator<Item = T> + use<'a, 'q, T> {
+        std::iter::from_fn(move || self.dequeue())
+    }
+
+    /// This handle's process id (`0..num_processes`).
+    #[must_use]
+    pub fn process_id(&self) -> usize {
+        self.pid
+    }
+
+    /// The queue this handle belongs to.
+    #[must_use]
+    pub fn queue(&self) -> &'q Queue<T> {
+        self.queue
+    }
+}
+
+impl<T> fmt::Debug for Handle<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("unbounded::Handle")
+            .field("pid", &self.pid)
+            .finish()
+    }
+}

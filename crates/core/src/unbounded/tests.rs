@@ -1,0 +1,395 @@
+//! Unit and property tests for the unbounded queue.
+
+use std::collections::VecDeque;
+
+use super::introspect;
+use super::Queue;
+
+/// Drives a single handle through a script and mirrors it on a `VecDeque`.
+fn run_script_single(ops: &[Option<u64>]) {
+    let q: Queue<u64> = Queue::new(1);
+    let mut h = q.register().unwrap();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in ops {
+        match op {
+            Some(v) => {
+                h.enqueue(*v);
+                model.push_back(*v);
+            }
+            None => {
+                assert_eq!(h.dequeue(), model.pop_front());
+            }
+        }
+    }
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn empty_dequeue_returns_none() {
+    let q: Queue<u32> = Queue::new(1);
+    let mut h = q.register().unwrap();
+    assert_eq!(h.dequeue(), None);
+    assert_eq!(h.dequeue(), None);
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn fifo_basic() {
+    let q: Queue<u32> = Queue::new(1);
+    let mut h = q.register().unwrap();
+    h.enqueue(1);
+    h.enqueue(2);
+    h.enqueue(3);
+    assert_eq!(h.dequeue(), Some(1));
+    assert_eq!(h.dequeue(), Some(2));
+    h.enqueue(4);
+    assert_eq!(h.dequeue(), Some(3));
+    assert_eq!(h.dequeue(), Some(4));
+    assert_eq!(h.dequeue(), None);
+}
+
+#[test]
+fn interleaved_empty_and_nonempty_phases() {
+    run_script_single(&[
+        None,
+        Some(1),
+        None,
+        None,
+        Some(2),
+        Some(3),
+        None,
+        Some(4),
+        None,
+        None,
+        None,
+        Some(5),
+        None,
+    ]);
+}
+
+#[test]
+fn long_single_process_script() {
+    let mut ops = Vec::new();
+    for i in 0..500u64 {
+        ops.push(Some(i));
+        if i % 3 == 0 {
+            ops.push(None);
+        }
+    }
+    for _ in 0..600 {
+        ops.push(None);
+    }
+    run_script_single(&ops);
+}
+
+#[test]
+fn registration_is_bounded() {
+    let q: Queue<u8> = Queue::new(3);
+    let h1 = q.register();
+    let h2 = q.register();
+    let h3 = q.register();
+    let h4 = q.register();
+    assert!(h1.is_some() && h2.is_some() && h3.is_some());
+    assert!(h4.is_none());
+    assert_eq!(q.num_processes(), 3);
+}
+
+#[test]
+fn handles_returns_all_remaining() {
+    let q: Queue<u8> = Queue::new(4);
+    let _first = q.register().unwrap();
+    let rest = q.handles();
+    assert_eq!(rest.len(), 3);
+    let pids: Vec<_> = rest.iter().map(|h| h.process_id()).collect();
+    assert_eq!(pids, vec![1, 2, 3]);
+}
+
+#[test]
+fn round_robin_handles_single_thread() {
+    // Sequential use of several handles must still be a FIFO queue (program
+    // order is a valid linearization of non-overlapping operations).
+    let q: Queue<u64> = Queue::new(4);
+    let mut handles = q.handles();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for i in 0..400u64 {
+        let h = &mut handles[(i % 4) as usize];
+        if i % 5 == 3 || i % 11 == 7 {
+            assert_eq!(h.dequeue(), model.pop_front(), "op {i}");
+        } else {
+            h.enqueue(i);
+            model.push_back(i);
+        }
+    }
+    // Drain through yet another rotation of handles.
+    let mut i = 0;
+    while let Some(expect) = model.pop_front() {
+        let h = &mut handles[i % 4];
+        assert_eq!(h.dequeue(), Some(expect));
+        i += 1;
+    }
+    assert_eq!(handles[0].dequeue(), None);
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn values_can_be_clone_only_types() {
+    let q: Queue<String> = Queue::new(1);
+    let mut h = q.register().unwrap();
+    h.enqueue("hello".to_owned());
+    h.enqueue("world".to_owned());
+    assert_eq!(h.dequeue().as_deref(), Some("hello"));
+    assert_eq!(h.dequeue().as_deref(), Some("world"));
+}
+
+#[test]
+fn linearization_matches_sequential_program_order() {
+    let q: Queue<u64> = Queue::new(2);
+    let mut handles = q.handles();
+    let mut expected_ops = Vec::new();
+    let mut actual_responses = Vec::new();
+    for i in 0..120u64 {
+        let h = &mut handles[(i % 2) as usize];
+        if i % 3 == 2 {
+            actual_responses.push(h.dequeue());
+            expected_ops.push(introspect::LinOp::Dequeue);
+        } else {
+            h.enqueue(i);
+            expected_ops.push(introspect::LinOp::Enqueue(i));
+        }
+    }
+    // In a sequential execution the linearization must equal program order.
+    let lin = introspect::linearization(&q);
+    assert_eq!(lin, expected_ops);
+    // And replaying it yields exactly the observed responses.
+    let (responses, _) = introspect::replay(&lin);
+    assert_eq!(responses, actual_responses);
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn concurrent_no_loss_no_duplication() {
+    let producers = 4usize;
+    let consumers = 4usize;
+    let per_producer = 2_000u64;
+    let q: Queue<u64> = Queue::new(producers + consumers);
+    let mut handles = q.handles();
+    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut producer_handles = Vec::new();
+        for pid in 0..producers {
+            let mut h = handles.remove(0);
+            producer_handles.push(s.spawn(move || {
+                for i in 0..per_producer {
+                    h.enqueue(((pid as u64) << 32) | i);
+                }
+            }));
+        }
+        let consumer_joins: Vec<_> = (0..consumers)
+            .map(|_| {
+                let mut h = handles.remove(0);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let target = (producers as u64 * per_producer) / consumers as u64;
+                    let mut misses = 0u32;
+                    while (got.len() as u64) < target && misses < 1_000_000 {
+                        match h.dequeue() {
+                            Some(v) => {
+                                got.push(v);
+                                misses = 0;
+                            }
+                            None => misses += 1,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for j in producer_handles {
+            j.join().unwrap();
+        }
+        consumer_joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let mut all: Vec<u64> = consumed.iter().flatten().copied().collect();
+    // Per-producer FIFO: each consumer sees each producer's values in order.
+    for got in &consumed {
+        let mut last = vec![None::<u64>; producers];
+        for v in got {
+            let pid = (v >> 32) as usize;
+            let seq = v & 0xffff_ffff;
+            if let Some(prev) = last[pid] {
+                assert!(seq > prev, "per-producer order violated");
+            }
+            last[pid] = Some(seq);
+        }
+    }
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(
+        all.len(),
+        consumed.iter().map(Vec::len).sum::<usize>(),
+        "duplicate values dequeued"
+    );
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn concurrent_drain_recovers_every_value() {
+    let threads = 6usize;
+    let per_thread = 1_500u64;
+    let q: Queue<u64> = Queue::new(threads);
+    let mut handles = q.handles();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut h = handles.remove(0);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut enqueued = 0u64;
+                    for i in 0..per_thread {
+                        if i % 2 == 0 {
+                            h.enqueue(((t as u64) << 32) | i);
+                            enqueued += 1;
+                        } else if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    // Drain what is left cooperatively.
+                    while let Some(v) = h.dequeue() {
+                        got.push(v);
+                    }
+                    (got, enqueued)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let total_enqueued: u64 = results.iter().map(|(_, e)| *e).sum();
+    let mut all: Vec<u64> = results.into_iter().flat_map(|(g, _)| g).collect();
+    assert_eq!(all.len() as u64, total_enqueued, "every value is dequeued exactly once");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, total_enqueued, "no duplicates");
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn enqueue_steps_do_not_grow_with_history() {
+    // Theorem 22: enqueue cost is O(log p), independent of how many
+    // operations happened before.
+    let q: Queue<u64> = Queue::new(2);
+    let mut h = q.register().unwrap();
+    let early: u64 = (0..200)
+        .map(|i| wfqueue_metrics::measure(|| h.enqueue(i)).1.memory_steps())
+        .sum();
+    for i in 0..20_000 {
+        h.enqueue(i);
+    }
+    let late: u64 = (0..200)
+        .map(|i| wfqueue_metrics::measure(|| h.enqueue(i)).1.memory_steps())
+        .sum();
+    assert!(
+        late < early * 3,
+        "enqueue steps grew with history: early={early}, late={late}"
+    );
+}
+
+#[test]
+fn debug_impls_are_nonempty() {
+    let q: Queue<u8> = Queue::new(1);
+    let h = q.register().unwrap();
+    assert!(!format!("{q:?}").is_empty());
+    assert!(!format!("{h:?}").is_empty());
+}
+
+#[test]
+fn introspect_dump_and_render() {
+    let q: Queue<u8> = Queue::new(2);
+    let mut h = q.register().unwrap();
+    h.enqueue(9);
+    let _ = h.dequeue();
+    let nodes = introspect::dump(&q);
+    assert_eq!(nodes.len(), q.topology().len() - 1);
+    let text = introspect::render(&nodes);
+    assert!(text.contains("root"));
+    assert!(text.contains("Enq(9)"));
+    assert!(text.contains("Deq"));
+    assert!(introspect::total_blocks(&q) > 0);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum ScriptOp {
+        Enq(u64),
+        Deq,
+    }
+
+    fn script() -> impl Strategy<Value = Vec<(usize, ScriptOp)>> {
+        proptest::collection::vec(
+            (0usize..3, prop_oneof![
+                any::<u64>().prop_map(ScriptOp::Enq),
+                Just(ScriptOp::Deq),
+            ]),
+            0..200,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn sequential_equivalence_with_vecdeque(ops in script()) {
+            let q: Queue<u64> = Queue::new(3);
+            let mut handles = q.handles();
+            let mut model: VecDeque<u64> = VecDeque::new();
+            for (who, op) in ops {
+                match op {
+                    ScriptOp::Enq(v) => {
+                        handles[who].enqueue(v);
+                        model.push_back(v);
+                    }
+                    ScriptOp::Deq => {
+                        prop_assert_eq!(handles[who].dequeue(), model.pop_front());
+                    }
+                }
+            }
+            prop_assert!(introspect::check_invariants(&q).is_ok());
+            // The reconstructed linearization replays to the same final state.
+            let (_, final_state) = introspect::replay(&introspect::linearization(&q));
+            let model_state: Vec<u64> = model.into_iter().collect();
+            prop_assert_eq!(final_state, model_state);
+        }
+    }
+}
+
+#[test]
+fn approx_len_tracks_quiescent_size() {
+    let q: Queue<u32> = Queue::new(2);
+    assert_eq!(q.approx_len(), 0);
+    let mut h = q.register().unwrap();
+    for i in 0..10 {
+        h.enqueue(i);
+        assert_eq!(q.approx_len(), i as usize + 1);
+    }
+    for i in (0..10).rev() {
+        let _ = h.dequeue();
+        assert_eq!(q.approx_len(), i);
+    }
+    // Null dequeues keep it at zero.
+    assert_eq!(h.dequeue(), None);
+    assert_eq!(q.approx_len(), 0);
+}
+
+#[test]
+fn drain_empties_in_fifo_order() {
+    let q: Queue<u32> = Queue::new(1);
+    let mut h = q.register().unwrap();
+    for i in 0..50 {
+        h.enqueue(i);
+    }
+    let drained: Vec<u32> = h.drain().collect();
+    assert_eq!(drained, (0..50).collect::<Vec<_>>());
+    assert_eq!(h.dequeue(), None);
+    // Drain on empty yields nothing.
+    assert_eq!(h.drain().count(), 0);
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the PODC 2023 wait-free queue reproduction.
+//!
+//! Provides everything the experiment binaries (crate `wfqueue-bench`) and
+//! the integration tests share:
+//!
+//! * [`queue_api`] — a uniform [`ConcurrentQueue`] trait with adapters for
+//!   both wait-free queue variants and all baselines;
+//! * [`workload`] — deterministic closed-loop workloads with per-operation
+//!   step accounting and built-in FIFO audits;
+//! * [`lincheck`] — timestamped history recording and a small-scope
+//!   Wing–Gong linearizability checker against the sequential queue
+//!   specification;
+//! * [`stats`] / [`table`] — aggregation and the aligned-table/CSV output
+//!   used to print each experiment's series;
+//! * [`rng`] — a seedable SplitMix64 generator so every run is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod lincheck;
+pub mod queue_api;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod workload;
+
+pub use queue_api::{ConcurrentQueue, QueueHandle};

@@ -1,0 +1,292 @@
+//! A uniform queue interface over the wait-free queue variants and all
+//! baselines, so workloads, checkers and experiments are written once.
+
+use wfqueue_baselines::{MsQueue, MutexQueue, SegQueueAdapter, TwoLockQueue};
+
+/// A shared multi-producer multi-consumer FIFO queue under test.
+///
+/// Implementations hand out per-thread handles; the ordering-tree queues
+/// have a bounded number of handles (`capacity`), the baselines do not.
+pub trait ConcurrentQueue<T>: Sync {
+    /// The per-thread handle type.
+    type Handle<'a>: QueueHandle<T> + Send
+    where
+        Self: 'a,
+        T: 'a;
+
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Acquires a handle for one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue's handle capacity is exhausted.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Maximum number of handles, if bounded.
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A per-thread view of a [`ConcurrentQueue`].
+pub trait QueueHandle<T> {
+    /// Appends `value` to the back of the queue.
+    fn enqueue(&mut self, value: T);
+    /// Removes and returns the front value, or `None` if empty.
+    fn dequeue(&mut self) -> Option<T>;
+}
+
+// ---------------------------------------------------------------------------
+// Wait-free queue adapters
+// ---------------------------------------------------------------------------
+
+/// Adapter for the unbounded wait-free queue.
+#[derive(Debug)]
+pub struct WfUnbounded<T: Clone + Send + Sync>(pub wfqueue::unbounded::Queue<T>);
+
+impl<T: Clone + Send + Sync> WfUnbounded<T> {
+    /// Creates an adapter with capacity for `processes` handles.
+    #[must_use]
+    pub fn new(processes: usize) -> Self {
+        WfUnbounded(wfqueue::unbounded::Queue::new(processes))
+    }
+}
+
+impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfUnbounded<T> {
+    type Handle<'a>
+        = wfqueue::unbounded::Handle<'a, T>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-unbounded"
+    }
+
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0
+            .register()
+            .expect("queue capacity exhausted: create it with more processes")
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.num_processes())
+    }
+}
+
+impl<T: Clone + Send + Sync> QueueHandle<T> for wfqueue::unbounded::Handle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        wfqueue::unbounded::Handle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        wfqueue::unbounded::Handle::dequeue(self)
+    }
+}
+
+/// Adapter for the bounded-space wait-free queue.
+#[derive(Debug)]
+pub struct WfBounded<T: Clone + Send + Sync>(pub wfqueue::bounded::Queue<T>);
+
+impl<T: Clone + Send + Sync> WfBounded<T> {
+    /// Creates an adapter with the paper's default GC period.
+    #[must_use]
+    pub fn new(processes: usize) -> Self {
+        WfBounded(wfqueue::bounded::Queue::new(processes))
+    }
+
+    /// Creates an adapter with an explicit GC period.
+    #[must_use]
+    pub fn with_gc_period(processes: usize, gc_period: usize) -> Self {
+        WfBounded(wfqueue::bounded::Queue::with_gc_period(processes, gc_period))
+    }
+}
+
+impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfBounded<T> {
+    type Handle<'a>
+        = wfqueue::bounded::Handle<'a, T>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-bounded"
+    }
+
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0
+            .register()
+            .expect("queue capacity exhausted: create it with more processes")
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.num_processes())
+    }
+}
+
+impl<T: Clone + Send + Sync> QueueHandle<T> for wfqueue::bounded::Handle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        wfqueue::bounded::Handle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        wfqueue::bounded::Handle::dequeue(self)
+    }
+}
+
+/// Adapter for the bounded wait-free queue with the worst-case (AVL)
+/// block store.
+#[derive(Debug)]
+pub struct WfBoundedAvl<T: Clone + Send + Sync>(pub wfqueue::bounded::AvlQueue<T>);
+
+impl<T: Clone + Send + Sync> WfBoundedAvl<T> {
+    /// Creates an adapter with the paper's default GC period.
+    #[must_use]
+    pub fn new(processes: usize) -> Self {
+        WfBoundedAvl(wfqueue::bounded::AvlQueue::new(processes))
+    }
+
+    /// Creates an adapter with an explicit GC period.
+    #[must_use]
+    pub fn with_gc_period(processes: usize, gc_period: usize) -> Self {
+        WfBoundedAvl(wfqueue::bounded::AvlQueue::with_gc_period(
+            processes, gc_period,
+        ))
+    }
+}
+
+impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfBoundedAvl<T> {
+    type Handle<'a>
+        = wfqueue::bounded::Handle<'a, T, wfqueue::bounded::AvlBacked>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-bounded-avl"
+    }
+
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0
+            .register()
+            .expect("queue capacity exhausted: create it with more processes")
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.num_processes())
+    }
+}
+
+impl<T: Clone + Send + Sync> QueueHandle<T>
+    for wfqueue::bounded::Handle<'_, T, wfqueue::bounded::AvlBacked>
+{
+    fn enqueue(&mut self, value: T) {
+        wfqueue::bounded::Handle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        wfqueue::bounded::Handle::dequeue(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline adapters (handles are just shared references)
+// ---------------------------------------------------------------------------
+
+/// Handle type for baselines whose operations take `&self`.
+#[derive(Debug)]
+pub struct RefHandle<'a, Q>(&'a Q);
+
+macro_rules! baseline_adapter {
+    ($adapter:ident, $queue:ty, $name:literal, $bound:path) => {
+        /// Adapter wrapping the corresponding baseline queue.
+        #[derive(Debug, Default)]
+        pub struct $adapter<T: $bound>(pub $queue);
+
+        impl<T: $bound> $adapter<T> {
+            /// Creates an empty queue adapter.
+            #[must_use]
+            pub fn new() -> Self {
+                $adapter(<$queue>::new())
+            }
+        }
+
+        impl<T: $bound> ConcurrentQueue<T> for $adapter<T>
+        where
+            $queue: Sync,
+        {
+            type Handle<'a>
+                = RefHandle<'a, $queue>
+            where
+                T: 'a;
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn handle(&self) -> Self::Handle<'_> {
+                RefHandle(&self.0)
+            }
+        }
+
+        impl<T: $bound> QueueHandle<T> for RefHandle<'_, $queue>
+        where
+            $queue: Sync,
+        {
+            fn enqueue(&mut self, value: T) {
+                self.0.enqueue(value);
+            }
+
+            fn dequeue(&mut self) -> Option<T> {
+                self.0.dequeue()
+            }
+        }
+    };
+}
+
+baseline_adapter!(Ms, MsQueue<T>, "ms-queue", Send);
+baseline_adapter!(TwoLock, TwoLockQueue<T>, "two-lock", Send);
+baseline_adapter!(CoarseMutex, MutexQueue<T>, "mutex", Send);
+baseline_adapter!(Seg, SegQueueAdapter<T>, "crossbeam-seg", Send);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<Q: ConcurrentQueue<u64>>(q: &Q) {
+        let mut h = q.handle();
+        h.enqueue(1);
+        h.enqueue(2);
+        assert_eq!(h.dequeue(), Some(1));
+        assert_eq!(h.dequeue(), Some(2));
+        assert_eq!(h.dequeue(), None);
+        assert!(!q.name().is_empty());
+    }
+
+    #[test]
+    fn all_adapters_round_trip() {
+        round_trip(&WfUnbounded::new(2));
+        round_trip(&WfBounded::new(2));
+        round_trip(&WfBounded::with_gc_period(2, 1));
+        round_trip(&WfBoundedAvl::new(2));
+        round_trip(&WfBoundedAvl::with_gc_period(2, 1));
+        round_trip(&Ms::new());
+        round_trip(&TwoLock::new());
+        round_trip(&CoarseMutex::new());
+        round_trip(&Seg::new());
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(ConcurrentQueue::<u64>::capacity(&WfUnbounded::<u64>::new(3)), Some(3));
+        assert_eq!(ConcurrentQueue::<u64>::capacity(&WfBounded::<u64>::new(5)), Some(5));
+        assert_eq!(ConcurrentQueue::<u64>::capacity(&Ms::<u64>::new()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn exhausting_wf_capacity_panics() {
+        let q = WfUnbounded::<u64>::new(1);
+        let _a = q.handle();
+        let _b = q.handle();
+    }
+}

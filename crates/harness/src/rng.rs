@@ -1,0 +1,98 @@
+//! A tiny deterministic PRNG (SplitMix64) so that workloads are exactly
+//! reproducible from a seed, with no external dependency.
+
+/// SplitMix64 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = wfqueue_harness::rng::SplitMix64::new(42);
+/// let mut b = wfqueue_harness::rng::SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Multiply-shift range reduction; bias is negligible for our use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `permille / 1000`.
+    pub fn chance_permille(&mut self, permille: u32) -> bool {
+        self.next_below(1000) < u64::from(permille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_below_in_range_and_spread() {
+        let mut r = SplitMix64::new(99);
+        let mut seen = [0u32; 10];
+        for _ in 0..10_000 {
+            let v = r.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] += 1;
+        }
+        for count in seen {
+            assert!(count > 500, "distribution too skewed: {seen:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn chance_permille_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!((0..100).all(|_| !r.chance_permille(0)));
+        assert!((0..100).all(|_| r.chance_permille(1000)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Aggregation of per-operation step measurements.
+
+use std::ops::AddAssign;
+
+use wfqueue_metrics::StepSnapshot;
+
+/// Aggregated statistics for one class of operations (e.g. all enqueues of
+/// a run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpClassStats {
+    /// Number of operations observed.
+    pub count: u64,
+    /// Sum of shared-memory steps over all operations.
+    pub steps_total: u64,
+    /// Largest single-operation step count (wait-freedom evidence: bounded
+    /// for the ordering-tree queue, unbounded tail for CAS-retry queues).
+    pub steps_max: u64,
+    /// Sum of CAS instructions (successful + failed).
+    pub cas_total: u64,
+    /// Largest single-operation CAS count.
+    pub cas_max: u64,
+    /// Sum of failed CAS instructions.
+    pub cas_failed: u64,
+    /// Garbage-collection phases triggered inside these operations.
+    pub gc_phases: u64,
+    /// Operations helped to completion inside these operations.
+    pub help_calls: u64,
+}
+
+impl OpClassStats {
+    /// Records one operation's measured steps.
+    pub fn record(&mut self, steps: &StepSnapshot) {
+        let mem = steps.memory_steps();
+        let cas = steps.cas_total();
+        self.count += 1;
+        self.steps_total += mem;
+        self.steps_max = self.steps_max.max(mem);
+        self.cas_total += cas;
+        self.cas_max = self.cas_max.max(cas);
+        self.cas_failed += steps.cas_failure;
+        self.gc_phases += steps.gc_phases;
+        self.help_calls += steps.help_calls;
+    }
+
+    /// Mean steps per operation (0 if none recorded).
+    #[must_use]
+    pub fn steps_avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.steps_total as f64 / self.count as f64
+        }
+    }
+
+    /// Mean CAS instructions per operation (0 if none recorded).
+    #[must_use]
+    pub fn cas_avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.cas_total as f64 / self.count as f64
+        }
+    }
+}
+
+impl AddAssign for OpClassStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.count += rhs.count;
+        self.steps_total += rhs.steps_total;
+        self.steps_max = self.steps_max.max(rhs.steps_max);
+        self.cas_total += rhs.cas_total;
+        self.cas_max = self.cas_max.max(rhs.cas_max);
+        self.cas_failed += rhs.cas_failed;
+        self.gc_phases += rhs.gc_phases;
+        self.help_calls += rhs.help_calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(loads: u64, cas_ok: u64, cas_fail: u64) -> StepSnapshot {
+        StepSnapshot {
+            shared_loads: loads,
+            cas_success: cas_ok,
+            cas_failure: cas_fail,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn record_and_averages() {
+        let mut s = OpClassStats::default();
+        s.record(&snap(10, 2, 0));
+        s.record(&snap(20, 1, 3));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.steps_total, 12 + 24);
+        assert_eq!(s.steps_max, 24);
+        assert_eq!(s.cas_total, 6);
+        assert_eq!(s.cas_max, 4);
+        assert_eq!(s.cas_failed, 3);
+        assert!((s.steps_avg() - 18.0).abs() < 1e-9);
+        assert!((s.cas_avg() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_averages_are_zero() {
+        let s = OpClassStats::default();
+        assert_eq!(s.steps_avg(), 0.0);
+        assert_eq!(s.cas_avg(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_maxima_and_sums() {
+        let mut a = OpClassStats::default();
+        a.record(&snap(5, 1, 0));
+        let mut b = OpClassStats::default();
+        b.record(&snap(50, 0, 9));
+        a += b;
+        assert_eq!(a.count, 2);
+        assert_eq!(a.steps_max, 59);
+        assert_eq!(a.cas_max, 9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Write-once lock-free storage substrates for the wait-free queue.
+//!
+//! The ordering-tree queue of Naderibeni & Ruppert (PODC 2023) stores, in
+//! every tree node, an *infinite array* of blocks: slots are written at most
+//! once (by a CAS from null), never overwritten, and never freed before the
+//! whole structure is dropped (§3.3 and Invariant 3 of the paper). This
+//! crate provides the two substrates that realise this model in Rust:
+//!
+//! * [`SegVec`] — an unbounded, lock-free, write-once vector built from
+//!   geometrically growing segments, supporting wait-free `get` and
+//!   CAS-based `try_install`;
+//! * [`AtomicOnceCell`] — a single write-once slot, used for the `super`
+//!   approximation and `response` fields of blocks.
+//!
+//! Both structures are the only place (besides the epoch-managed tree
+//! versions of the bounded queue) where this workspace uses `unsafe`; each
+//! block is justified by the write-once/never-freed protocol.
+
+#![warn(missing_docs)]
+
+mod once_cell;
+mod seg_vec;
+
+pub use once_cell::AtomicOnceCell;
+pub use seg_vec::SegVec;

@@ -1,0 +1,187 @@
+//! A lock-free write-once cell.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use wfqueue_metrics as metrics;
+
+/// A lock-free cell that can be written exactly once.
+///
+/// Used for the `super` and `response` fields of queue blocks (Figure 3 and
+/// Figure 5/line 303 of the paper): several helpers may race to write, the
+/// first CAS wins, later writers observe the winner. Unlike
+/// [`std::sync::OnceLock`] the losing `set` never blocks or parks — it is a
+/// single failed CAS, which keeps every step of the queue wait-free and
+/// countable.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_segvec::AtomicOnceCell;
+///
+/// let cell = AtomicOnceCell::new();
+/// assert!(cell.get().is_none());
+/// assert_eq!(cell.set(5), Ok(()));
+/// assert_eq!(cell.set(6), Err(6));
+/// assert_eq!(cell.get(), Some(&5));
+/// ```
+pub struct AtomicOnceCell<T> {
+    ptr: AtomicPtr<T>,
+}
+
+// SAFETY: the cell owns its value (freed in Drop) and hands out `&T`; it is
+// `Send`/`Sync` exactly when `T` is both.
+unsafe impl<T: Send + Sync> Send for AtomicOnceCell<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send + Sync> Sync for AtomicOnceCell<T> {}
+
+impl<T> AtomicOnceCell<T> {
+    /// Creates an empty cell.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicOnceCell {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Attempts to write `value`; returns it back if the cell was already
+    /// set. Counts as one CAS step.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when another value was installed first.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        let raw = Box::into_raw(Box::new(value));
+        match self
+            .ptr
+            .compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                metrics::record_cas(true);
+                Ok(())
+            }
+            Err(_) => {
+                metrics::record_cas(false);
+                // SAFETY: `raw` lost the race and was never published, so we
+                // uniquely own it.
+                Err(*unsafe { Box::from_raw(raw) })
+            }
+        }
+    }
+
+    /// Returns the value if the cell has been set. Counts as one shared load.
+    #[must_use]
+    pub fn get(&self) -> Option<&T> {
+        metrics::record_shared_load();
+        let raw = self.ptr.load(Ordering::SeqCst);
+        if raw.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null pointer was published by the winning `set`
+            // and is freed only in Drop (`&mut self`), so it outlives `&self`.
+            Some(unsafe { &*raw })
+        }
+    }
+
+    /// Returns `true` if the cell has been set (one shared load).
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.get().is_some()
+    }
+}
+
+impl<T> Default for AtomicOnceCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for AtomicOnceCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.get() {
+            Some(v) => f.debug_tuple("AtomicOnceCell").field(v).finish(),
+            None => f.write_str("AtomicOnceCell(<unset>)"),
+        }
+    }
+}
+
+impl<T> Drop for AtomicOnceCell<T> {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        if !raw.is_null() {
+            // SAFETY: exclusive access; the value was published exactly once
+            // and never freed elsewhere.
+            unsafe { drop(Box::from_raw(raw)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_once_then_reject() {
+        let c = AtomicOnceCell::new();
+        assert!(c.get().is_none());
+        assert!(!c.is_set());
+        assert_eq!(c.set(1), Ok(()));
+        assert!(c.is_set());
+        assert_eq!(c.set(2), Err(2));
+        assert_eq!(c.get(), Some(&1));
+    }
+
+    #[test]
+    fn losing_set_drops_rejected_value_once() {
+        struct CountDrop(Arc<AtomicUsize>);
+        impl Drop for CountDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = AtomicOnceCell::new();
+        c.set(CountDrop(Arc::clone(&drops))).ok();
+        drop(c.set(CountDrop(Arc::clone(&drops))));
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(c);
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_set_single_winner() {
+        let c = Arc::new(AtomicOnceCell::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.set(t).is_ok())
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .filter_map(|h| h.join().ok())
+            .filter(|won| *won)
+            .count();
+        assert_eq!(wins, 1);
+        assert!(c.get().is_some());
+    }
+
+    #[test]
+    fn stores_option_values() {
+        // The queue stores `Option<T>` responses (None = null dequeue).
+        let c: AtomicOnceCell<Option<u32>> = AtomicOnceCell::new();
+        c.set(None).unwrap();
+        assert_eq!(c.get(), Some(&None));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let c: AtomicOnceCell<u8> = AtomicOnceCell::new();
+        assert_eq!(format!("{c:?}"), "AtomicOnceCell(<unset>)");
+        c.set(3).unwrap();
+        assert_eq!(format!("{c:?}"), "AtomicOnceCell(3)");
+    }
+}

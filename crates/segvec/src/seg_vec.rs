@@ -1,0 +1,360 @@
+//! The write-once segmented vector.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use wfqueue_metrics as metrics;
+
+/// Number of entries in segment 0; segment `s` holds `BASE << s` entries.
+const BASE: usize = 64;
+/// log2 of [`BASE`].
+const BASE_LOG2: u32 = BASE.trailing_zeros();
+/// Number of segments in the directory. Total capacity is
+/// `(2^SEGMENTS - 1) * BASE` entries, i.e. effectively unbounded (≥ 2^63).
+const SEGMENTS: usize = 58;
+
+/// An unbounded, lock-free, **write-once** vector.
+///
+/// `SegVec<T>` models the paper's infinite `blocks` array: each index can be
+/// installed at most once (CAS from empty), is never overwritten, and is
+/// freed only when the `SegVec` itself is dropped. Readers get `&T`
+/// references that live as long as the vector, with no synchronisation
+/// beyond one atomic load per level.
+///
+/// Storage is a fixed directory of segments whose sizes grow geometrically
+/// (64, 128, 256, ...), so `get`/`try_install` are wait-free with O(1) work,
+/// and installing never moves existing entries.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_segvec::SegVec;
+///
+/// let v: SegVec<String> = SegVec::new();
+/// assert!(v.get(3).is_none());
+/// v.try_install(3, Box::new("hello".to_owned())).unwrap();
+/// assert_eq!(v.get(3).map(String::as_str), Some("hello"));
+/// ```
+pub struct SegVec<T> {
+    /// `directory[s]` points to an array of `BASE << s` slot pointers, or is
+    /// null if the segment has not been allocated yet.
+    directory: [AtomicPtr<AtomicPtr<T>>; SEGMENTS],
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: `SegVec` hands out `&T` to any thread and accepts `Box<T>` from
+// any thread, so it is `Send`/`Sync` exactly when `T` is both.
+unsafe impl<T: Send + Sync> Send for SegVec<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send + Sync> Sync for SegVec<T> {}
+
+/// Maps a global index to `(segment, offset)`.
+///
+/// Segment `s` covers global indices `[(2^s - 1) * BASE, (2^(s+1) - 1) * BASE)`.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    let block = index / BASE + 1;
+    let seg = (usize::BITS - 1 - block.leading_zeros()) as usize;
+    let seg_start = ((1usize << seg) - 1) << BASE_LOG2;
+    (seg, index - seg_start)
+}
+
+impl<T> SegVec<T> {
+    /// Creates an empty vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v: wfqueue_segvec::SegVec<u32> = wfqueue_segvec::SegVec::new();
+    /// assert!(v.get(0).is_none());
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        SegVec {
+            directory: [(); SEGMENTS].map(|()| AtomicPtr::new(ptr::null_mut())),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the entry at `index`, or `None` if nothing has been installed
+    /// there yet. Counts as one shared-memory step.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        metrics::record_shared_load();
+        let (seg, off) = locate(index);
+        let seg_ptr = self.directory[seg].load(Ordering::Acquire);
+        if seg_ptr.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null directory entry points to a live array of
+        // `BASE << seg` slots; it is published with Release and never freed
+        // before `self` is dropped (Drop takes `&mut self`).
+        let slot = unsafe { &*seg_ptr.add(off) };
+        let value = slot.load(Ordering::Acquire);
+        if value.is_null() {
+            None
+        } else {
+            // SAFETY: slots are write-once (CAS from null in `try_install`)
+            // and the pointee is freed only in Drop, so the reference is
+            // valid for the lifetime of `self`.
+            Some(unsafe { &*value })
+        }
+    }
+
+    /// Attempts to install `value` at `index` (a CAS from empty).
+    ///
+    /// On success returns a reference to the installed value. If another
+    /// value was installed first, returns it together with the rejected box
+    /// so the caller can reuse or drop it. Counts as one CAS step.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = wfqueue_segvec::SegVec::new();
+    /// assert!(v.try_install(0, Box::new(1)).is_ok());
+    /// let (existing, rejected) = v.try_install(0, Box::new(2)).unwrap_err();
+    /// assert_eq!((*existing, *rejected), (1, 2));
+    /// ```
+    pub fn try_install(&self, index: usize, value: Box<T>) -> Result<&T, (&T, Box<T>)> {
+        let (seg, off) = locate(index);
+        let segment = self.segment_or_alloc(seg);
+        // SAFETY: `segment` points to a live array of `BASE << seg` slots
+        // (see `segment_or_alloc`); `off < BASE << seg` by `locate`.
+        let slot = unsafe { &*segment.add(off) };
+        let raw = Box::into_raw(value);
+        match slot.compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                metrics::record_cas(true);
+                // SAFETY: we just published `raw`; write-once slots are never
+                // freed before `self` is dropped.
+                Ok(unsafe { &*raw })
+            }
+            Err(existing) => {
+                metrics::record_cas(false);
+                // SAFETY: `raw` came from `Box::into_raw` above and was not
+                // published (the CAS failed), so we uniquely own it again.
+                let rejected = unsafe { Box::from_raw(raw) };
+                // SAFETY: `existing` is non-null (CAS failed against a
+                // non-null current value) and write-once.
+                Err((unsafe { &*existing }, rejected))
+            }
+        }
+    }
+
+    /// Returns the segment array for `seg`, allocating and publishing it if
+    /// necessary. Losing allocators free their candidate.
+    fn segment_or_alloc(&self, seg: usize) -> *const AtomicPtr<T> {
+        let dir = &self.directory[seg];
+        let current = dir.load(Ordering::Acquire);
+        if !current.is_null() {
+            return current;
+        }
+        let len = BASE << seg;
+        let mut fresh: Vec<AtomicPtr<T>> = Vec::with_capacity(len);
+        fresh.resize_with(len, || AtomicPtr::new(ptr::null_mut()));
+        let boxed: Box<[AtomicPtr<T>]> = fresh.into_boxed_slice();
+        let raw = Box::into_raw(boxed) as *mut AtomicPtr<T>;
+        match dir.compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => raw,
+            Err(winner) => {
+                // SAFETY: our candidate lost the race and was never
+                // published; reconstitute the box to free it.
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(raw, len)));
+                }
+                winner
+            }
+        }
+    }
+
+    /// Returns an iterator over installed entries in `0..len`, yielding
+    /// `None` for empty slots. Intended for tests and introspection.
+    pub fn iter_prefix(&self, len: usize) -> impl Iterator<Item = Option<&T>> + '_ {
+        (0..len).map(move |i| self.get(i))
+    }
+}
+
+impl<T> Default for SegVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SegVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Show the installed prefix (stops at the first hole), which is the
+        // meaningful contents under the queue's Invariant 3.
+        let mut list = f.debug_list();
+        let mut i = 0;
+        while let Some(v) = self.get(i) {
+            list.entry(v);
+            i += 1;
+            if i > 64 {
+                break;
+            }
+        }
+        list.finish()
+    }
+}
+
+impl<T> Drop for SegVec<T> {
+    fn drop(&mut self) {
+        for (seg, dir) in self.directory.iter_mut().enumerate() {
+            let seg_ptr = *dir.get_mut();
+            if seg_ptr.is_null() {
+                continue;
+            }
+            let len = BASE << seg;
+            // SAFETY: exclusive access (`&mut self`); the segment was
+            // allocated by `segment_or_alloc` with exactly this length.
+            let segment =
+                unsafe { Box::from_raw(ptr::slice_from_raw_parts_mut(seg_ptr, len)) };
+            for slot in segment.iter() {
+                let value = slot.load(Ordering::Relaxed);
+                if !value.is_null() {
+                    // SAFETY: installed values are owned by the vector and
+                    // no references outlive `self`.
+                    unsafe { drop(Box::from_raw(value)) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn locate_covers_consecutive_indices() {
+        // Each global index maps to a unique (segment, offset) pair and the
+        // segment boundaries line up with geometric growth.
+        let mut last = (0usize, usize::MAX);
+        for i in 0..100_000 {
+            let (seg, off) = locate(i);
+            assert!(off < BASE << seg, "offset in range at {i}");
+            if seg == last.0 {
+                assert_eq!(off, last.1.wrapping_add(1), "offsets consecutive at {i}");
+            } else {
+                assert_eq!(seg, last.0 + 1, "segments consecutive at {i}");
+                assert_eq!(off, 0, "new segment starts at 0 at {i}");
+            }
+            last = (seg, off);
+        }
+    }
+
+    #[test]
+    fn locate_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(BASE - 1), (0, BASE - 1));
+        assert_eq!(locate(BASE), (1, 0));
+        assert_eq!(locate(3 * BASE - 1), (1, 2 * BASE - 1));
+        assert_eq!(locate(3 * BASE), (2, 0));
+    }
+
+    #[test]
+    fn get_empty_returns_none() {
+        let v: SegVec<u64> = SegVec::new();
+        assert!(v.get(0).is_none());
+        assert!(v.get(12345).is_none());
+    }
+
+    #[test]
+    fn install_then_get() {
+        let v = SegVec::new();
+        for i in (0..1000).rev() {
+            v.try_install(i, Box::new(i as u64 * 3)).unwrap();
+        }
+        for i in 0..1000 {
+            assert_eq!(v.get(i), Some(&(i as u64 * 3)));
+        }
+    }
+
+    #[test]
+    fn double_install_fails_and_returns_box() {
+        let v = SegVec::new();
+        v.try_install(7, Box::new("first")).unwrap();
+        let (existing, rejected) = v.try_install(7, Box::new("second")).unwrap_err();
+        assert_eq!(*existing, "first");
+        assert_eq!(*rejected, "second");
+        assert_eq!(v.get(7), Some(&"first"));
+    }
+
+    #[test]
+    fn sparse_indices_across_segments() {
+        let v = SegVec::new();
+        for &i in &[0usize, 63, 64, 191, 192, 1000, 65_535, 1 << 20] {
+            v.try_install(i, Box::new(i)).unwrap();
+        }
+        for &i in &[0usize, 63, 64, 191, 192, 1000, 65_535, 1 << 20] {
+            assert_eq!(v.get(i), Some(&i));
+        }
+        assert!(v.get(1).is_none());
+        assert!(v.get((1 << 20) - 1).is_none());
+    }
+
+    #[test]
+    fn drop_frees_all_values() {
+        struct CountDrop(Arc<AtomicUsize>);
+        impl Drop for CountDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let v = SegVec::new();
+            for i in 0..500 {
+                v.try_install(i, Box::new(CountDrop(Arc::clone(&drops)))).ok();
+            }
+            // A lost race also drops its box exactly once.
+            let _ = v.try_install(0, Box::new(CountDrop(Arc::clone(&drops))));
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 501);
+    }
+
+    #[test]
+    fn concurrent_install_single_winner_per_slot() {
+        let v: Arc<SegVec<usize>> = Arc::new(SegVec::new());
+        let threads = 8;
+        let slots = 256;
+        let winners: Vec<_> = (0..threads)
+            .map(|t| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    let mut won = 0;
+                    for i in 0..slots {
+                        if v.try_install(i, Box::new(t)).is_ok() {
+                            won += 1;
+                        }
+                    }
+                    won
+                })
+            })
+            .collect();
+        let total: usize = winners.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, slots, "exactly one install wins per slot");
+        for i in 0..slots {
+            assert!(v.get(i).is_some());
+        }
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<SegVec<u64>>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v: SegVec<u8> = SegVec::new();
+        assert_eq!(format!("{v:?}"), "[]");
+        v.try_install(0, Box::new(9)).unwrap();
+        assert_eq!(format!("{v:?}"), "[9]");
+    }
+}

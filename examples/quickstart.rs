@@ -1,0 +1,55 @@
+//! Quickstart: share a wait-free queue between producer and consumer
+//! threads.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wfqueue::unbounded::Queue;
+
+fn main() {
+    // A queue for 5 processes: 2 producers + 2 consumers + the main thread.
+    // Each gets its own handle (its leaf of the ordering tree).
+    let queue: Queue<u64> = Queue::new(5);
+    let mut handles = queue.handles();
+    let mut main_handle = handles.remove(0);
+
+    let per_producer = 10_000u64;
+    let total = 2 * per_producer;
+
+    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+        // Producers.
+        for producer in 0..2u64 {
+            let mut h = handles.remove(0);
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    h.enqueue(producer * per_producer + i);
+                }
+            });
+        }
+        // Consumers.
+        let joins: Vec<_> = (0..2)
+            .map(|_| {
+                let mut h = handles.remove(0);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while (got.len() as u64) < per_producer {
+                        if let Some(v) = h.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let received: usize = consumed.iter().map(Vec::len).sum();
+    assert_eq!(received as u64, total);
+    println!("transferred {received} values through the wait-free queue");
+
+    // Every operation is wait-free: O(log p) steps per enqueue,
+    // O(log² p + log q) per dequeue — measure one:
+    let (_, steps) = wfqueue_metrics::measure(|| main_handle.enqueue(42));
+    println!("one enqueue took {} shared-memory steps", steps.memory_steps());
+    assert_eq!(main_handle.dequeue(), Some(42));
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the wfqueue reproduction: re-exports every workspace
+//! crate so that the repository-level examples and integration tests (and
+//! downstream experimentation) have a single import point.
+//!
+//! See the `wfqueue` crate for the queue itself, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduced results.
+
+pub use wfqueue;
+pub use wfqueue_avl as avl;
+pub use wfqueue_baselines as baselines;
+pub use wfqueue_harness as harness;
+pub use wfqueue_metrics as metrics;
+pub use wfqueue_pstore as pstore;
+pub use wfqueue_segvec as segvec;
+pub use wfqueue_treap as treap;

@@ -1,0 +1,125 @@
+//! Mutation testing for the linearizability checker: a checker that accepts
+//! everything proves nothing, so we verify it *rejects* subtly corrupted
+//! histories — the exact bug classes a broken queue would produce.
+
+use proptest::prelude::*;
+use wfqueue_harness::lincheck::{check_linearizable, record_history, Event, Op};
+use wfqueue_harness::queue_api::CoarseMutex;
+
+fn record_valid(seed: u64) -> Vec<Event> {
+    let q = CoarseMutex::new();
+    record_history(&q, 3, 4, 500, seed)
+}
+
+#[test]
+fn valid_histories_accepted() {
+    for seed in 0..20 {
+        check_linearizable(&record_valid(seed)).unwrap();
+    }
+}
+
+/// Swaps the responses of the first two value-returning dequeues (a FIFO
+/// order violation a buggy queue could produce). Returns `None` if the
+/// history has fewer than two hits or they returned the same value.
+fn swap_two_dequeue_responses(history: &mut [Event]) -> Option<()> {
+    let hits: Vec<usize> = history
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.op, Op::Dequeue(Some(_))))
+        .map(|(i, _)| i)
+        .collect();
+    if hits.len() < 2 {
+        return None;
+    }
+    let (a, b) = (hits[0], hits[1]);
+    let (Op::Dequeue(x), Op::Dequeue(y)) = (history[a].op, history[b].op) else {
+        unreachable!()
+    };
+    if x == y {
+        return None;
+    }
+    history[a].op = Op::Dequeue(y);
+    history[b].op = Op::Dequeue(x);
+    Some(())
+}
+
+#[test]
+fn value_invention_rejected() {
+    for seed in 0..10 {
+        let mut h = record_valid(seed);
+        // Replace a null dequeue's response with a never-enqueued value.
+        if let Some(e) = h
+            .iter_mut()
+            .find(|e| matches!(e.op, Op::Dequeue(None)))
+        {
+            e.op = Op::Dequeue(Some(0xDEAD));
+            assert!(
+                check_linearizable(&h).is_err(),
+                "invented value accepted (seed {seed})"
+            );
+            return;
+        }
+    }
+    panic!("no null dequeue found to mutate in 10 seeds");
+}
+
+#[test]
+fn duplicated_delivery_rejected() {
+    for seed in 0..20 {
+        let mut h = record_valid(seed);
+        let hit_value = h.iter().find_map(|e| match e.op {
+            Op::Dequeue(Some(v)) => Some(v),
+            _ => None,
+        });
+        let (Some(v), Some(null_idx)) = (
+            hit_value,
+            h.iter()
+                .position(|e| matches!(e.op, Op::Dequeue(None))),
+        ) else {
+            continue;
+        };
+        // A second dequeue also claims to have received v.
+        h[null_idx].op = Op::Dequeue(Some(v));
+        assert!(
+            check_linearizable(&h).is_err(),
+            "duplicate delivery accepted (seed {seed})"
+        );
+        return;
+    }
+    panic!("no suitable history found to mutate");
+}
+
+#[test]
+fn lost_value_then_spurious_empty_rejected() {
+    // Enqueue(v) completes, nothing ever dequeues v, but a later dequeue
+    // that starts after everything finished returns None while v is the
+    // only value: not linearizable.
+    let h = vec![
+        Event {
+            invoke: 0,
+            ret: 1,
+            op: Op::Enqueue(42),
+        },
+        Event {
+            invoke: 2,
+            ret: 3,
+            op: Op::Dequeue(None),
+        },
+    ];
+    assert!(check_linearizable(&h).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn swapped_fifo_order_rejected_when_ops_are_sequential(seed in 0u64..5_000) {
+        // Build a *sequential* history (one thread) so every pair of
+        // dequeues is strictly ordered; swapping two distinct responses
+        // must then always be non-linearizable.
+        let q = CoarseMutex::new();
+        let mut h = record_history(&q, 1, 8, 600, seed);
+        prop_assume!(swap_two_dequeue_responses(&mut h).is_some());
+        prop_assert!(check_linearizable(&h).is_err());
+    }
+}

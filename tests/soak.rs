@@ -1,0 +1,48 @@
+//! Long-running soak tests (excluded from the default run; invoke with
+//! `cargo test --release --test soak -- --ignored`).
+
+use wfqueue_harness::queue_api::{WfBounded, WfUnbounded};
+use wfqueue_harness::workload::{run_workload, WorkloadSpec};
+
+#[test]
+#[ignore = "long-running soak; run explicitly with --ignored"]
+fn unbounded_half_million_ops() {
+    let threads = 8;
+    let q = WfUnbounded::new(threads);
+    let r = run_workload(
+        &q,
+        &WorkloadSpec {
+            threads,
+            ops_per_thread: 64_000,
+            enqueue_permille: 500,
+            prefill: 1_024,
+            seed: 0x50AC,
+        },
+    );
+    assert!(r.audits_ok(), "{r:?}");
+    wfqueue::unbounded::introspect::check_invariants(&q.0).unwrap();
+}
+
+#[test]
+#[ignore = "long-running soak; run explicitly with --ignored"]
+fn bounded_half_million_ops_small_gc() {
+    let threads = 8;
+    let q = WfBounded::with_gc_period(threads, 32);
+    let r = run_workload(
+        &q,
+        &WorkloadSpec {
+            threads,
+            ops_per_thread: 64_000,
+            enqueue_permille: 500,
+            prefill: 1_024,
+            seed: 0x50AD,
+        },
+    );
+    assert!(r.audits_ok(), "{r:?}");
+    wfqueue::bounded::introspect::check_invariants(&q.0).unwrap();
+    let stats = wfqueue::bounded::introspect::space_stats(&q.0);
+    assert!(
+        stats.total_blocks < 200_000,
+        "space not reclaimed over the soak: {stats:?}"
+    );
+}
