@@ -17,7 +17,14 @@ fn main() {
     let paper_g = p * p * 2; // p² ⌈log₂ p⌉ for p = 4
     let mut table = Table::new(
         "A1: GC period ablation (p=4, q~64): amortized cost vs retained space",
-        &["G", "steps/op", "gc phases", "helps", "live blocks", "max/node"],
+        &[
+            "G",
+            "steps/op",
+            "gc phases",
+            "helps",
+            "live blocks",
+            "max/node",
+        ],
     );
     for g in [1usize, 4, 16, paper_g, 128, 1024, 16_384] {
         let q = WfBounded::with_gc_period(p, g);

@@ -63,10 +63,9 @@ fn main() {
         let (ua, um) = cas_cols(&unb);
         let (ba, bm) = cas_cols(&bnd);
         let (ma, mm) = cas_cols(&ms);
-        let ms_failed = (ms.enqueue.cas_failed
-            + ms.dequeue_hit.cas_failed
-            + ms.dequeue_null.cas_failed) as f64
-            / ms.total_ops() as f64;
+        let ms_failed =
+            (ms.enqueue.cas_failed + ms.dequeue_hit.cas_failed + ms.dequeue_null.cas_failed) as f64
+                / ms.total_ops() as f64;
         table.row_owned(vec![
             p.to_string(),
             f1(exp::log2(p.max(2) as f64)),

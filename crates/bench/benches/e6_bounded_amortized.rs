@@ -14,7 +14,14 @@ use wfqueue_harness::workload::{run_workload, WorkloadSpec};
 fn main() {
     let mut by_p = Table::new(
         "E6a: bounded queue amortized steps vs p (Theorem 32), q ~ 256",
-        &["p", "lgp*lg(p+q)", "steps avg", "ratio", "gc phases", "helps"],
+        &[
+            "p",
+            "lgp*lg(p+q)",
+            "steps avg",
+            "ratio",
+            "gc phases",
+            "helps",
+        ],
     );
     for &p in exp::p_sweep() {
         let s = WorkloadSpec {
@@ -26,9 +33,8 @@ fn main() {
         };
         let q = WfBounded::new(p);
         let report = run_workload(&q, &s);
-        let gc = report.enqueue.gc_phases
-            + report.dequeue_hit.gc_phases
-            + report.dequeue_null.gc_phases;
+        let gc =
+            report.enqueue.gc_phases + report.dequeue_hit.gc_phases + report.dequeue_null.gc_phases;
         let helps = report.enqueue.help_calls
             + report.dequeue_hit.help_calls
             + report.dequeue_null.help_calls;

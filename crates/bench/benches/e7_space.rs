@@ -14,7 +14,12 @@ fn main() {
     // (a) growth over time under churn at q ~ 32, p = 2.
     let mut over_time = Table::new(
         "E7a: live blocks over time (churn at q=32, p=2, G=16)",
-        &["operations", "bounded blocks", "bounded depth", "unbounded blocks"],
+        &[
+            "operations",
+            "bounded blocks",
+            "bounded depth",
+            "unbounded blocks",
+        ],
     );
     let bounded: wfqueue::bounded::Queue<u64> = wfqueue::bounded::Queue::with_gc_period(2, 16);
     let unbounded: wfqueue::unbounded::Queue<u64> = wfqueue::unbounded::Queue::new(2);

@@ -29,7 +29,9 @@ fn main() {
     responses.push(h[3].dequeue());
     responses.push(h[3].dequeue());
 
-    println!("E8: ordering tree after the Figure 1 history (implicit representation of Figure 2)\n");
+    println!(
+        "E8: ordering tree after the Figure 1 history (implicit representation of Figure 2)\n"
+    );
     print!("{}", introspect::render(&introspect::dump(&queue)));
 
     let lin = introspect::linearization(&queue);
@@ -43,7 +45,10 @@ fn main() {
     println!("\nlinearization L: {}", rendered.join(" "));
 
     let (replayed, _) = introspect::replay(&lin);
-    assert_eq!(replayed, responses, "replay of L matches observed responses");
+    assert_eq!(
+        replayed, responses,
+        "replay of L matches observed responses"
+    );
     introspect::check_invariants(&queue).expect("paper invariants");
     println!("replay(L) == observed dequeue responses: OK");
     println!("Invariants 3 & 7, Lemmas 4, 12, 16: OK\n");

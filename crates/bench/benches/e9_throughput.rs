@@ -8,7 +8,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wfqueue_harness::queue_api::{CoarseMutex, ConcurrentQueue, Ms, Seg, TwoLock, WfBounded, WfUnbounded};
+use wfqueue_harness::queue_api::{
+    CoarseMutex, ConcurrentQueue, Ms, Seg, TwoLock, WfBounded, WfUnbounded,
+};
 use wfqueue_harness::workload::{run_workload, WorkloadSpec};
 
 fn spec(p: usize, total_ops: u64) -> WorkloadSpec {

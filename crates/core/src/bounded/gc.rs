@@ -42,9 +42,7 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
             tree.tree.get(idx as u64).cloned()
         };
         // Line 247: if the block was discarded, use the leftmost block.
-        candidate.unwrap_or_else(|| {
-            Arc::clone(tree.tree.min().expect("trees are never empty").1)
-        })
+        candidate.unwrap_or_else(|| Arc::clone(tree.tree.min().expect("trees are never empty").1))
     }
 
     /// `Help` — Figure 5 lines 298–306: complete every pending dequeue that

@@ -192,7 +192,10 @@ where
         }
         for (k, b) in &blocks {
             if *k as usize != b.index {
-                return Err(format!("node {v}: key {k} disagrees with index {}", b.index));
+                return Err(format!(
+                    "node {v}: key {k} disagrees with index {}",
+                    b.index
+                ));
             }
         }
     }

@@ -121,7 +121,10 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
         // If the true b_e was discarded, the found block is the tree's
         // minimum and its predecessor is gone — detected right here.
         let be_prev = lookup(rtree.tree, be - 1)?;
-        debug_assert!(be_prev.sumenq < e, "first_where returned a non-minimal block");
+        debug_assert!(
+            be_prev.sumenq < e,
+            "first_where returned a non-minimal block"
+        );
         let ie = e - be_prev.sumenq;
         drop(guard);
         let response = self.get_enqueue(topo.root(), be, ie)?;

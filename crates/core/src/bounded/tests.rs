@@ -255,7 +255,11 @@ fn values_with_drop_are_reclaimed() {
     // All clones must eventually be dropped: only our original remains.
     // (Epoch reclamation may keep a bounded number of versions alive, so we
     // allow some slack rather than an exact count.)
-    assert!(Arc::strong_count(&token) < 64, "values leaked: {}", Arc::strong_count(&token));
+    assert!(
+        Arc::strong_count(&token) < 64,
+        "values leaked: {}",
+        Arc::strong_count(&token)
+    );
 }
 
 mod proptests {
@@ -270,10 +274,10 @@ mod proptests {
 
     fn script() -> impl Strategy<Value = Vec<(usize, ScriptOp)>> {
         proptest::collection::vec(
-            (0usize..3, prop_oneof![
-                any::<u64>().prop_map(ScriptOp::Enq),
-                Just(ScriptOp::Deq),
-            ]),
+            (
+                0usize..3,
+                prop_oneof![any::<u64>().prop_map(ScriptOp::Enq), Just(ScriptOp::Deq),],
+            ),
             0..150,
         )
     }

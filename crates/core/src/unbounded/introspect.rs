@@ -243,7 +243,9 @@ where
             let prev = node.block(i - 1).expect("checked installed");
             // Invariant 3 (third claim): super set below head (non-root).
             if v != topo.root() && i < head && blk.sup().is_none() {
-                return Err(format!("node {v}: block {i} below head {head} has unset super"));
+                return Err(format!(
+                    "node {v}: block {i} below head {head} has unset super"
+                ));
             }
             if blk.sumenq < prev.sumenq || blk.sumdeq < prev.sumdeq {
                 return Err(format!("node {v}: prefix sums decrease at block {i}"));
@@ -256,7 +258,9 @@ where
             }
             if topo.is_leaf(v) {
                 if numenq + numdeq != 1 {
-                    return Err(format!("node {v}: leaf block {i} holds {numenq}+{numdeq} ops"));
+                    return Err(format!(
+                        "node {v}: leaf block {i} holds {numenq}+{numdeq} ops"
+                    ));
                 }
                 if (numenq == 1) != blk.element.is_some() {
                     return Err(format!("node {v}: leaf block {i} element/op mismatch"));

@@ -215,9 +215,10 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let rsum = right.block_installed(endright, "Invariant 3: blocks[head-1] is installed");
         let sumenq = lsum.sumenq + rsum.sumenq;
         let sumdeq = lsum.sumdeq + rsum.sumdeq;
-        let prev = self
-            .node(v)
-            .block_installed(i - 1, "Invariant 3: blocks[h-1] was installed when h was read");
+        let prev = self.node(v).block_installed(
+            i - 1,
+            "Invariant 3: blocks[h-1] was installed when h was read",
+        );
         // Counts of operations the new block would propagate (lines 47–48);
         // prefix sums are monotone (Lemma 4 + Invariant 7) so these cannot
         // underflow.

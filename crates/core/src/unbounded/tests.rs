@@ -206,7 +206,10 @@ fn concurrent_no_loss_no_duplication() {
         for j in producer_handles {
             j.join().unwrap();
         }
-        consumer_joins.into_iter().map(|j| j.join().unwrap()).collect()
+        consumer_joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
     });
 
     let mut all: Vec<u64> = consumed.iter().flatten().copied().collect();
@@ -265,7 +268,11 @@ fn concurrent_drain_recovers_every_value() {
     });
     let total_enqueued: u64 = results.iter().map(|(_, e)| *e).sum();
     let mut all: Vec<u64> = results.into_iter().flat_map(|(g, _)| g).collect();
-    assert_eq!(all.len() as u64, total_enqueued, "every value is dequeued exactly once");
+    assert_eq!(
+        all.len() as u64,
+        total_enqueued,
+        "every value is dequeued exactly once"
+    );
     all.sort_unstable();
     all.dedup();
     assert_eq!(all.len() as u64, total_enqueued, "no duplicates");
@@ -328,10 +335,10 @@ mod proptests {
 
     fn script() -> impl Strategy<Value = Vec<(usize, ScriptOp)>> {
         proptest::collection::vec(
-            (0usize..3, prop_oneof![
-                any::<u64>().prop_map(ScriptOp::Enq),
-                Just(ScriptOp::Deq),
-            ]),
+            (
+                0usize..3,
+                prop_oneof![any::<u64>().prop_map(ScriptOp::Enq), Just(ScriptOp::Deq),],
+            ),
             0..200,
         )
     }

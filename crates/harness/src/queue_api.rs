@@ -99,7 +99,9 @@ impl<T: Clone + Send + Sync> WfBounded<T> {
     /// Creates an adapter with an explicit GC period.
     #[must_use]
     pub fn with_gc_period(processes: usize, gc_period: usize) -> Self {
-        WfBounded(wfqueue::bounded::Queue::with_gc_period(processes, gc_period))
+        WfBounded(wfqueue::bounded::Queue::with_gc_period(
+            processes, gc_period,
+        ))
     }
 }
 
@@ -277,8 +279,14 @@ mod tests {
 
     #[test]
     fn capacities() {
-        assert_eq!(ConcurrentQueue::<u64>::capacity(&WfUnbounded::<u64>::new(3)), Some(3));
-        assert_eq!(ConcurrentQueue::<u64>::capacity(&WfBounded::<u64>::new(5)), Some(5));
+        assert_eq!(
+            ConcurrentQueue::<u64>::capacity(&WfUnbounded::<u64>::new(3)),
+            Some(3)
+        );
+        assert_eq!(
+            ConcurrentQueue::<u64>::capacity(&WfBounded::<u64>::new(5)),
+            Some(5)
+        );
         assert_eq!(ConcurrentQueue::<u64>::capacity(&Ms::<u64>::new()), None);
     }
 

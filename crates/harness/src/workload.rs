@@ -77,9 +77,8 @@ impl RunReport {
     /// Mean steps per operation over all classes.
     #[must_use]
     pub fn steps_avg(&self) -> f64 {
-        let total = self.enqueue.steps_total
-            + self.dequeue_hit.steps_total
-            + self.dequeue_null.steps_total;
+        let total =
+            self.enqueue.steps_total + self.dequeue_hit.steps_total + self.dequeue_null.steps_total;
         if self.total_ops() == 0 {
             0.0
         } else {
@@ -182,8 +181,7 @@ pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> 
                         if rng.chance_permille(spec.enqueue_permille) {
                             let value = tag(tid, seq);
                             seq += 1;
-                            let ((), steps) =
-                                wfqueue_metrics::measure(|| handle.enqueue(value));
+                            let ((), steps) = wfqueue_metrics::measure(|| handle.enqueue(value));
                             enqueue.record(&steps);
                         } else {
                             let (result, steps) = wfqueue_metrics::measure(|| handle.dequeue());
@@ -191,8 +189,7 @@ pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> 
                                 Some(value) => {
                                     dequeue_hit.record(&steps);
                                     let (producer, s) = untag(value);
-                                    if let Some(prev) = last_seen.get(producer).copied().flatten()
-                                    {
+                                    if let Some(prev) = last_seen.get(producer).copied().flatten() {
                                         if s <= prev {
                                             fifo_ok = false;
                                         }

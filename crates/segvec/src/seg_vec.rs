@@ -209,8 +209,7 @@ impl<T> Drop for SegVec<T> {
             let len = BASE << seg;
             // SAFETY: exclusive access (`&mut self`); the segment was
             // allocated by `segment_or_alloc` with exactly this length.
-            let segment =
-                unsafe { Box::from_raw(ptr::slice_from_raw_parts_mut(seg_ptr, len)) };
+            let segment = unsafe { Box::from_raw(ptr::slice_from_raw_parts_mut(seg_ptr, len)) };
             for slot in segment.iter() {
                 let value = slot.load(Ordering::Relaxed);
                 if !value.is_null() {
@@ -309,7 +308,8 @@ mod tests {
         {
             let v = SegVec::new();
             for i in 0..500 {
-                v.try_install(i, Box::new(CountDrop(Arc::clone(&drops)))).ok();
+                v.try_install(i, Box::new(CountDrop(Arc::clone(&drops))))
+                    .ok();
             }
             // A lost race also drops its box exactly once.
             let _ = v.try_install(0, Box::new(CountDrop(Arc::clone(&drops))));

@@ -399,7 +399,10 @@ mod tests {
 
     #[test]
     fn insert_and_get() {
-        let t = PTreap::new().insert(5, "five").insert(1, "one").insert(9, "nine");
+        let t = PTreap::new()
+            .insert(5, "five")
+            .insert(1, "one")
+            .insert(9, "nine");
         assert_eq!(t.len(), 3);
         assert_eq!(t.get(5), Some(&"five"));
         assert_eq!(t.get(1), Some(&"one"));

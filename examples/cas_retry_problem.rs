@@ -39,7 +39,11 @@ fn main() {
     );
     for adversarial in [false, true] {
         wfqueue_metrics::set_adversary(adversarial);
-        let schedule = if adversarial { "adversarial" } else { "natural" };
+        let schedule = if adversarial {
+            "adversarial"
+        } else {
+            "natural"
+        };
         let ms = run_workload(&Ms::new(), &spec);
         table.row_owned(vec![
             "ms-queue".into(),

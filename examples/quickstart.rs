@@ -50,6 +50,9 @@ fn main() {
     // Every operation is wait-free: O(log p) steps per enqueue,
     // O(log² p + log q) per dequeue — measure one:
     let (_, steps) = wfqueue_metrics::measure(|| main_handle.enqueue(42));
-    println!("one enqueue took {} shared-memory steps", steps.memory_steps());
+    println!(
+        "one enqueue took {} shared-memory steps",
+        steps.memory_steps()
+    );
     assert_eq!(main_handle.dequeue(), Some(42));
 }

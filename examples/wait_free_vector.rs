@@ -44,7 +44,10 @@ fn main() {
             seen[p] = true;
         }
     }
-    assert!(seen.iter().all(|s| *s), "every position assigned exactly once");
+    assert!(
+        seen.iter().all(|s| *s),
+        "every position assigned exactly once"
+    );
 
     // Random access agrees with the appenders' returned positions.
     for (w, posns) in positions.iter().enumerate() {

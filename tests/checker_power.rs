@@ -48,10 +48,7 @@ fn value_invention_rejected() {
     for seed in 0..10 {
         let mut h = record_valid(seed);
         // Replace a null dequeue's response with a never-enqueued value.
-        if let Some(e) = h
-            .iter_mut()
-            .find(|e| matches!(e.op, Op::Dequeue(None)))
-        {
+        if let Some(e) = h.iter_mut().find(|e| matches!(e.op, Op::Dequeue(None))) {
             e.op = Op::Dequeue(Some(0xDEAD));
             assert!(
                 check_linearizable(&h).is_err(),
@@ -73,8 +70,7 @@ fn duplicated_delivery_rejected() {
         });
         let (Some(v), Some(null_idx)) = (
             hit_value,
-            h.iter()
-                .position(|e| matches!(e.op, Op::Dequeue(None))),
+            h.iter().position(|e| matches!(e.op, Op::Dequeue(None))),
         ) else {
             continue;
         };

@@ -1,0 +1,75 @@
+//! Smoke test for the paper-figure walkthrough examples.
+//!
+//! `cargo test` already compiles every `examples/*.rs` (so example rot fails
+//! the build); this suite goes one step further and *executes* each example
+//! binary, asserting a clean exit. The examples are the runnable
+//! walkthroughs of the paper's figures, so "builds but panics at startup"
+//! must also be caught by tier-1.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "cas_retry_problem",
+    "ordering_tree_walkthrough",
+    "quickstart",
+    "space_bounded_gc",
+    "task_scheduler",
+    "wait_free_vector",
+];
+
+/// Directory the example binaries land in: `target/<profile>/examples`,
+/// found relative to this test executable (`target/<profile>/deps/...`).
+fn examples_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent() // deps/
+        .and_then(|p| p.parent()) // <profile>/
+        .expect("target profile dir");
+    profile_dir.join("examples")
+}
+
+/// Builds the example binaries if this test target was compiled in
+/// isolation (e.g. `cargo test --test examples_smoke`), in which case cargo
+/// will not have built the examples alongside.
+fn ensure_built(dir: &Path) {
+    if EXAMPLES.iter().all(|e| dir.join(e).is_file()) {
+        return;
+    }
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["build", "--examples"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"));
+    // Build for the profile this test runs under, so the binaries land in
+    // the directory probed above (`cargo test --release` ⇒ release dir).
+    if dir.parent().and_then(|p| p.file_name()) == Some(std::ffi::OsStr::new("release")) {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed");
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    let dir = examples_dir();
+    ensure_built(&dir);
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        assert!(bin.is_file(), "example binary missing: {}", bin.display());
+        let out = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        // Every walkthrough narrates what it shows; an empty stdout means
+        // the example silently stopped doing its job.
+        assert!(
+            !out.stdout.is_empty(),
+            "example {name} printed nothing to stdout"
+        );
+    }
+}

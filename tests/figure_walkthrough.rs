@@ -48,7 +48,14 @@ fn figure_history_is_fifo_correct() {
     // deq -> b | enq h | deq -> c | deq -> e
     assert_eq!(
         responses,
-        vec![Some('a'), Some('d'), Some('f'), Some('b'), Some('c'), Some('e')]
+        vec![
+            Some('a'),
+            Some('d'),
+            Some('f'),
+            Some('b'),
+            Some('c'),
+            Some('e')
+        ]
     );
 }
 
@@ -76,7 +83,10 @@ fn figure_linearization_replays_to_observed_responses() {
     let mut sorted = enqs.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, vec!['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h']);
-    assert_eq!(lin.iter().filter(|op| matches!(op, LinOp::Dequeue)).count(), 6);
+    assert_eq!(
+        lin.iter().filter(|op| matches!(op, LinOp::Dequeue)).count(),
+        6
+    );
     // Replaying the linearization yields exactly the observed responses (in
     // a sequential execution, linearization order = program order).
     let (replayed, final_state) = introspect::replay(&lin);
@@ -107,7 +117,9 @@ fn figure_render_contains_figure2_fields() {
     let q: Queue<char> = Queue::new(4);
     let _ = run_figure_history(&q);
     let text = introspect::render(&introspect::dump(&q));
-    for needle in ["sumenq", "sumdeq", "endleft", "endright", "size", "Enq('a')", "Deq"] {
+    for needle in [
+        "sumenq", "sumdeq", "endleft", "endright", "size", "Enq('a')", "Deq",
+    ] {
         assert!(text.contains(needle), "render missing {needle}:\n{text}");
     }
 }
@@ -140,7 +152,14 @@ fn figure_history_on_bounded_queue_matches() {
         responses.push(h[3].dequeue());
         assert_eq!(
             responses,
-            vec![Some('a'), Some('d'), Some('f'), Some('b'), Some('c'), Some('e')],
+            vec![
+                Some('a'),
+                Some('d'),
+                Some('f'),
+                Some('b'),
+                Some('c'),
+                Some('e')
+            ],
             "gc={gc}"
         );
         wfqueue::bounded::introspect::check_invariants(&q).unwrap();

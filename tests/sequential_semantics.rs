@@ -17,10 +17,7 @@ enum ScriptOp {
 
 fn script() -> impl Strategy<Value = Vec<ScriptOp>> {
     proptest::collection::vec(
-        prop_oneof![
-            any::<u64>().prop_map(ScriptOp::Enq),
-            Just(ScriptOp::Deq),
-        ],
+        prop_oneof![any::<u64>().prop_map(ScriptOp::Enq), Just(ScriptOp::Deq),],
         0..250,
     )
 }

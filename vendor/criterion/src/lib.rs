@@ -1,0 +1,270 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's two
+//! Criterion benches use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], group tuning knobs, [`BenchmarkId`],
+//! [`Throughput`], and `Bencher::{iter, iter_custom}`.
+//!
+//! Instead of criterion's statistics engine, each benchmark runs a handful
+//! of samples and prints the mean wall-clock time per iteration. Output is
+//! indicative only; it has no outlier rejection or confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a value (re-export of the
+/// standard hint, which is what recent criterion versions use anyway).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (recorded, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter` (matches criterion's display).
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`: a plain name or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores the
+    /// arguments cargo-bench passes (`--bench`, filters, …).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Prints the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up period before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target measurement period (the shim uses it as a per-benchmark time
+    /// budget rather than a statistical target).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters_done: 0,
+        };
+        // Warm-up: untimed passes until the configured period has elapsed
+        // (at least one; capped so a tiny routine cannot spin forever).
+        let warm_started = Instant::now();
+        let mut warm_passes = 0u32;
+        while warm_passes == 0
+            || (warm_started.elapsed() < self.warm_up_time && warm_passes < 10_000)
+        {
+            f(&mut bencher);
+            warm_passes += 1;
+        }
+        bencher.total = Duration::ZERO;
+        bencher.iters_done = 0;
+
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        let mean = if bencher.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total
+                / u32::try_from(bencher.iters_done.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elem/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} B/iter)"),
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12.1?} /iter over {} iters{}",
+            self.name, id, mean, bencher.iters_done, tp
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to the closure of `bench_function`.
+pub struct Bencher {
+    total: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Iterations the shim asks of each `iter`/`iter_custom` sample. Small,
+    /// because experiment workloads here spawn real threads per iteration.
+    const ITERS_PER_SAMPLE: u64 = 64;
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..Self::ITERS_PER_SAMPLE {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters_done += Self::ITERS_PER_SAMPLE;
+    }
+
+    /// Lets the routine time itself: it receives an iteration count and
+    /// returns the elapsed time for exactly that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.total += routine(Self::ITERS_PER_SAMPLE);
+        self.iters_done += Self::ITERS_PER_SAMPLE;
+    }
+}
+
+/// Declares a group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_both_iter_flavours() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("iter", 1), |b| b.iter(|| calls += 1));
+        group.bench_function("iter_custom", |b| {
+            b.iter_custom(|iters| {
+                calls += iters;
+                Duration::from_nanos(iters)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

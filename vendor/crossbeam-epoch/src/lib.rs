@@ -1,0 +1,564 @@
+//! Offline shim for `crossbeam-epoch` (see `vendor/README.md`).
+//!
+//! Implements the subset of the crossbeam-epoch 0.9 API the workspace uses:
+//! [`Atomic`], [`Owned`], [`Shared`], [`Guard`], [`pin`] and [`unprotected`].
+//!
+//! # Reclamation scheme
+//!
+//! Real crossbeam tracks a global epoch with per-thread local epochs. This
+//! shim keeps one global, mutex-protected epoch state: an *era* counter
+//! bumped by every deferred destruction, a multiset of live guards keyed by
+//! the era they were pinned in, and a garbage list whose entries are
+//! stamped with the era of their defer. A garbage entry stamped `s` is
+//! freed as soon as no live guard has era `<= s` — i.e. once every guard
+//! that was pinned *before* the defer has been dropped. Later pins get a
+//! strictly larger era and never delay reclamation.
+//!
+//! Safety argument: an object may only be deferred after it has been
+//! unlinked from the data structure, so a guard pinned *after* the defer
+//! (era `> s`) can never reach it; any guard that could still hold a
+//! reference was pinned before the defer and therefore has era `<= s`,
+//! which blocks the free until that guard drops. All era bookkeeping
+//! happens under one lock, so a defer racing with an unpin either lands
+//! before the minimum-era computation (and is considered by it) or after
+//! (and waits for the next unpin).
+//!
+//! Reclamation is eager (unlike a pin-count-zero scheme, progress does not
+//! require a globally quiescent instant), at the cost of a short critical
+//! section on every `pin`/`unpin`/`defer_destroy`.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+use std::{fmt, ptr};
+
+/// Global epoch bookkeeping (see the module docs for the scheme).
+struct EpochState {
+    /// Era stamped onto the next pin and the next defer; bumped by defers.
+    next_era: u64,
+    /// Live guards, keyed by the era they were pinned in.
+    active: BTreeMap<u64, usize>,
+    /// Deferred destructions, stamped with the era of their defer.
+    garbage: Vec<(u64, Deferred)>,
+}
+
+static EPOCH: Mutex<EpochState> = Mutex::new(EpochState {
+    next_era: 0,
+    active: BTreeMap::new(),
+    garbage: Vec::new(),
+});
+
+fn epoch_state() -> std::sync::MutexGuard<'static, EpochState> {
+    EPOCH.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Deferred {
+    ptr: *mut (),
+    destroy: unsafe fn(*mut ()),
+}
+
+// SAFETY: the raw pointers are only dereferenced by `destroy`, which is run
+// by exactly one thread (the drainer) after all readers have unpinned.
+unsafe impl Send for Deferred {}
+
+unsafe fn destroy_box<T>(p: *mut ()) {
+    // SAFETY: `p` was produced by `Box::into_raw` for a `T` (see `Owned`).
+    drop(unsafe { Box::from_raw(p.cast::<T>()) });
+}
+
+/// Sentinel era for the [`unprotected`] guard: it does not participate in
+/// pinning and executes deferred destructions eagerly.
+const UNPROTECTED_ERA: u64 = u64::MAX;
+
+/// A guard that keeps the current thread pinned.
+pub struct Guard {
+    /// Era this guard was pinned in ([`UNPROTECTED_ERA`] for the dummy).
+    era: u64,
+}
+
+impl Guard {
+    /// Defers destruction of the object `shared` points to until no pinned
+    /// guard can still be holding a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// The object must already be unreachable for threads that pin after
+    /// this call, and must not be deferred twice.
+    pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+        let ptr = shared.ptr.cast_mut().cast::<()>();
+        if ptr.is_null() {
+            return;
+        }
+        if self.era == UNPROTECTED_ERA {
+            // Caller has exclusive access (that is the `unprotected`
+            // contract); destroy immediately.
+            unsafe { destroy_box::<T>(ptr) };
+            return;
+        }
+        let mut st = epoch_state();
+        let stamp = st.next_era;
+        st.next_era += 1;
+        st.garbage.push((
+            stamp,
+            Deferred {
+                ptr,
+                destroy: destroy_box::<T>,
+            },
+        ));
+    }
+
+    /// Flushes thread-local deferred functions to the global list. The shim
+    /// has no thread-local buffer, so this is a no-op kept for API parity.
+    pub fn flush(&self) {}
+
+    /// Unpins and immediately re-pins, giving reclamation a chance to run.
+    pub fn repin(&mut self) {
+        if self.era != UNPROTECTED_ERA {
+            unpin_one(self.era);
+            self.era = pin_one();
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.era != UNPROTECTED_ERA {
+            unpin_one(self.era);
+        }
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Guard { .. }")
+    }
+}
+
+fn pin_one() -> u64 {
+    let mut st = epoch_state();
+    let era = st.next_era;
+    *st.active.entry(era).or_insert(0) += 1;
+    era
+}
+
+fn unpin_one(era: u64) {
+    // The frees run outside the lock so that destructors which themselves
+    // pin or defer cannot deadlock.
+    let batch: Vec<(u64, Deferred)> = {
+        let mut st = epoch_state();
+        match st.active.get_mut(&era) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                st.active.remove(&era);
+            }
+            None => unreachable!("unpin of an era with no active guards"),
+        }
+        let min_live = st.active.keys().next().copied().unwrap_or(u64::MAX);
+        let (free, keep) = std::mem::take(&mut st.garbage)
+            .into_iter()
+            .partition(|(stamp, _)| *stamp < min_live);
+        st.garbage = keep;
+        free
+    };
+    for (_, d) in batch {
+        // SAFETY: every guard pinned before this object's defer (era <= its
+        // stamp) has been dropped, and no later-pinned guard can reach it
+        // (it was unlinked before deferral).
+        unsafe { (d.destroy)(d.ptr) };
+    }
+}
+
+/// Pins the current thread, returning a guard under whose lifetime loaded
+/// [`Shared`] pointers remain valid.
+#[must_use]
+pub fn pin() -> Guard {
+    Guard { era: pin_one() }
+}
+
+/// Returns a dummy guard for data that is not shared (e.g. inside `Drop`
+/// with `&mut self`).
+///
+/// # Safety
+///
+/// The caller must guarantee exclusive access to the data the guard is used
+/// with; deferred destructions run immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        era: UNPROTECTED_ERA,
+    };
+    &UNPROTECTED
+}
+
+/// Types that can be moved into an [`Atomic`]: [`Owned`] and [`Shared`].
+pub trait Pointer<T> {
+    /// Returns the machine representation of the pointer.
+    fn into_ptr(self) -> *mut T;
+    /// Rebuilds the pointer from its machine representation.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `into_ptr` of the same implementor.
+    unsafe fn from_ptr(ptr: *mut T) -> Self;
+}
+
+/// An owned heap-allocated object (a `Box` that can enter an [`Atomic`]).
+pub struct Owned<T> {
+    boxed: ManuallyDrop<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    #[must_use]
+    pub fn new(value: T) -> Owned<T> {
+        Owned {
+            boxed: ManuallyDrop::new(Box::new(value)),
+        }
+    }
+
+    /// Converts into a [`Shared`] tied to `_guard`'s lifetime.
+    #[allow(clippy::needless_lifetimes)]
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.into_ptr(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts back into a `Box`.
+    #[must_use]
+    pub fn into_box(mut self) -> Box<T> {
+        // SAFETY: `self` is forgotten right after, so the box is taken once.
+        let b = unsafe { ManuallyDrop::take(&mut self.boxed) };
+        std::mem::forget(self);
+        b
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(mut self) -> *mut T {
+        // SAFETY: `self` is forgotten immediately, so the box is taken once.
+        let boxed = unsafe { ManuallyDrop::take(&mut self.boxed) };
+        std::mem::forget(self);
+        Box::into_raw(boxed)
+    }
+
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        // SAFETY: per contract, `ptr` came from `Box::into_raw`.
+        Owned {
+            boxed: ManuallyDrop::new(unsafe { Box::from_raw(ptr) }),
+        }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: still owned (conversions forget `self` first).
+        unsafe { ManuallyDrop::drop(&mut self.boxed) };
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.boxed
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.boxed
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.boxed.fmt(f)
+    }
+}
+
+/// A pointer to a shared object, valid while its guard `'g` is alive.
+pub struct Shared<'g, T> {
+    ptr: *const T,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        ptr::eq(self.ptr, other.ptr)
+    }
+}
+
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    #[must_use]
+    pub fn null() -> Shared<'g, T> {
+        Shared {
+            ptr: ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the pointer is null.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// The raw pointer value.
+    #[must_use]
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and the object alive (guaranteed by the
+    /// guard discipline when loaded from a live [`Atomic`]).
+    pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded to the caller.
+        unsafe { &*self.ptr }
+    }
+
+    /// Converts to a reference, `None` when null.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Shared::deref`], when non-null.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: forwarded to the caller.
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Takes ownership of the pointed-to object.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access (the object unlinked and no
+    /// other thread able to reach it), and the pointer must be non-null.
+    #[must_use]
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        // SAFETY: forwarded to the caller.
+        unsafe { Owned::from_ptr(self.ptr.cast_mut()) }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr.cast_mut()
+    }
+
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+/// The error returned on a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// Ownership of the value that failed to install, handed back.
+    pub new: P,
+}
+
+impl<'g, T, P: Pointer<T>> fmt::Debug for CompareExchangeError<'g, T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompareExchangeError")
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An atomic pointer that can be safely shared between threads.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+// SAFETY: mirrors crossbeam: the atomic hands out references to T across
+// threads, so T must be Send + Sync for the Atomic to be either.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocates `value` on the heap and returns an atomic pointer to it.
+    #[must_use]
+    pub fn new(value: T) -> Atomic<T> {
+        Atomic::from(Owned::new(value))
+    }
+
+    /// The null atomic pointer.
+    #[must_use]
+    pub fn null() -> Atomic<T> {
+        Atomic {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Loads the pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores `new` into the atomic (consuming ownership when `new` is an
+    /// [`Owned`]).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_ptr(), ord);
+    }
+
+    /// Compares the atomic against `current` and, on match, swaps in `new`.
+    /// On failure, returns the actual value and hands `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_ptr = new.into_ptr();
+        match self
+            .ptr
+            .compare_exchange(current.ptr.cast_mut(), new_ptr, success, failure)
+        {
+            Ok(_) => Ok(Shared {
+                ptr: new_ptr,
+                _marker: PhantomData,
+            }),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared {
+                    ptr: actual,
+                    _marker: PhantomData,
+                },
+                // SAFETY: `new_ptr` came from `new.into_ptr()` just above.
+                new: unsafe { P::from_ptr(new_ptr) },
+            }),
+        }
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(owned.into_ptr()),
+        }
+    }
+}
+
+impl<T> From<Shared<'_, T>> for Atomic<T> {
+    fn from(shared: Shared<'_, T>) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(shared.into_ptr()),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_cas_round_trip() {
+        let a = Atomic::new(10u32);
+        let guard = pin();
+        let s = a.load(Ordering::SeqCst, &guard);
+        assert_eq!(unsafe { *s.deref() }, 10);
+        assert!(a
+            .compare_exchange(
+                s,
+                Owned::new(11),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                &guard
+            )
+            .is_ok());
+        let s2 = a.load(Ordering::SeqCst, &guard);
+        assert_eq!(unsafe { *s2.deref() }, 11);
+        // Stale CAS fails and hands the Owned back.
+        let err = a
+            .compare_exchange(
+                s,
+                Owned::new(12),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                &guard,
+            )
+            .unwrap_err();
+        assert_eq!(*err.new, 12);
+        assert_eq!(err.current, s2);
+        unsafe {
+            guard.defer_destroy(s);
+            guard.defer_destroy(s2);
+        }
+        drop(guard);
+    }
+
+    #[test]
+    fn deferred_drop_runs_at_quiescence() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let a = Atomic::new(D);
+        {
+            let guard = pin();
+            let s = a.load(Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(s) };
+            // Still pinned: the deferring guard itself blocks the free.
+            assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        }
+        // Eager reclamation: only guards pinned before the defer can block
+        // it. Other tests in this binary may hold such guards briefly, so
+        // allow a short grace period before asserting.
+        for _ in 0..1000 {
+            if DROPS.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            drop(pin());
+            std::thread::yield_now();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

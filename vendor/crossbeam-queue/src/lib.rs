@@ -1,0 +1,77 @@
+//! Offline shim for `crossbeam-queue` (see `vendor/README.md`).
+//!
+//! Provides an API-compatible [`SegQueue`] backed by `Mutex<VecDeque<T>>`.
+//! Functionally identical to the real crate but **not** lock-free; the
+//! workspace only uses it as an ecosystem baseline in wall-clock benches.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// An unbounded MPMC FIFO queue (shim; mutex-backed, not segmented).
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates a new empty queue.
+    #[must_use]
+    pub fn new() -> SegQueue<T> {
+        SegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes an element to the back of the queue.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Pops an element from the front of the queue, or `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Returns `true` if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Returns the number of elements in the queue.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("SegQueue { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

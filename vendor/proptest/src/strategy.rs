@@ -1,0 +1,228 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of type `Value`.
+///
+/// Unlike the real crate there is no value tree / shrinking: `generate`
+/// produces a single concrete value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy (used by `prop_oneof!` to unify arm types).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms`; each case picks one arm uniformly.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "generate anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A strategy generating arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {:?}", self
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (-5i32..5).generate(&mut r);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_just_union_tuples() {
+        let mut r = rng();
+        let s = crate::prop_oneof![(0u64..10).prop_map(|v| v * 2), Just(1u64),];
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v == 1 || (v % 2 == 0 && v < 20));
+        }
+        let t = (0u8..2, Just('x')).generate(&mut r);
+        assert!(t.0 < 2 && t.1 == 'x');
+    }
+}
