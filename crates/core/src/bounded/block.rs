@@ -1,20 +1,22 @@
-//! Blocks of the bounded-space queue (Figure 5 of the paper).
+//! Blocks of the bounded-space queue (Figure 5 of the paper, extended with
+//! batched leaf blocks).
 
 use std::sync::Arc;
 
 use wfqueue_segvec::AtomicOnceCell;
 
-/// The operation recorded by a leaf block.
+/// The operation batch recorded by a leaf block.
 #[derive(Debug)]
 pub(crate) enum LeafOp<T> {
-    /// `Enqueue(value)`.
-    Enqueue(T),
-    /// A `Dequeue`; its `response` is filled in by a helper (or by the owner
-    /// implicitly returning it) — Figure 5 line 303.
+    /// A batch of `Enqueue`s (the paper's single enqueue is a batch of one).
+    Enqueue(Vec<T>),
+    /// A batch of `Dequeue`s; the `responses` (one per dequeue, in batch
+    /// order) are filled in by a helper (or by the owner implicitly
+    /// returning them) — Figure 5 line 303 generalized to a batch.
     Dequeue {
-        /// Write-once response slot: `Some(v)` for a value, `None` for a
-        /// null dequeue.
-        response: AtomicOnceCell<Option<T>>,
+        /// Write-once response slot: one `Option<T>` per dequeue of the
+        /// batch; `None` entries are null dequeues.
+        responses: AtomicOnceCell<Vec<Option<T>>>,
     },
 }
 
@@ -24,9 +26,11 @@ pub(crate) enum LeafOp<T> {
 /// explicit `index` (their position in the conceptual `blocks` array, used
 /// as the tree key), lose the `super` hint (superblocks are found by
 /// searching the parent's tree on `endleft`/`endright`), and leaf dequeue
-/// blocks gain a `response` cell so other processes can help complete them.
+/// blocks gain a `responses` cell so other processes can help complete
+/// them. Leaf blocks carry a whole batch of same-kind operations; the block
+/// store is unaffected because keys stay per-block.
 ///
-/// Blocks are fully immutable after construction except for the `response`
+/// Blocks are fully immutable after construction except for the `responses`
 /// write-once cell; they are shared between tree versions via [`Arc`].
 #[derive(Debug)]
 pub(crate) struct Block<T> {
@@ -62,28 +66,45 @@ impl<T> Block<T> {
 
     /// Leaf block for `Enqueue(element)` (Figure 5 line 203).
     pub fn leaf_enqueue(index: usize, element: T, prev: &Block<T>) -> Arc<Self> {
+        Self::leaf_enqueue_batch(index, vec![element], prev)
+    }
+
+    /// Leaf block carrying a whole batch of enqueues (one `AddBlock` + one
+    /// `Propagate` covers all of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty (blocks are non-empty, Corollary 8).
+    pub fn leaf_enqueue_batch(index: usize, elements: Vec<T>, prev: &Block<T>) -> Arc<Self> {
+        assert!(!elements.is_empty(), "leaf blocks are non-empty");
         Arc::new(Block {
             index,
-            sumenq: prev.sumenq + 1,
+            sumenq: prev.sumenq + elements.len(),
             sumdeq: prev.sumdeq,
             endleft: 0,
             endright: 0,
             size: 0,
-            op: Some(LeafOp::Enqueue(element)),
+            op: Some(LeafOp::Enqueue(elements)),
         })
     }
 
-    /// Leaf block for a `Dequeue` (Figure 5 line 208).
-    pub fn leaf_dequeue(index: usize, prev: &Block<T>) -> Arc<Self> {
+    /// Leaf block carrying a batch of `count` dequeues (Figure 5 line 208
+    /// is the `count = 1` case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (blocks are non-empty, Corollary 8).
+    pub fn leaf_dequeue_batch(index: usize, count: usize, prev: &Block<T>) -> Arc<Self> {
+        assert!(count > 0, "leaf blocks are non-empty");
         Arc::new(Block {
             index,
             sumenq: prev.sumenq,
-            sumdeq: prev.sumdeq + 1,
+            sumdeq: prev.sumdeq + count,
             endleft: 0,
             endright: 0,
             size: 0,
             op: Some(LeafOp::Dequeue {
-                response: AtomicOnceCell::new(),
+                responses: AtomicOnceCell::new(),
             }),
         })
     }
@@ -118,24 +139,25 @@ impl<T> Block<T> {
         }
     }
 
-    /// The response cell if this is a leaf dequeue block.
-    pub fn response(&self) -> Option<&AtomicOnceCell<Option<T>>> {
+    /// The responses cell if this is a leaf dequeue block.
+    pub fn responses(&self) -> Option<&AtomicOnceCell<Vec<Option<T>>>> {
         match &self.op {
-            Some(LeafOp::Dequeue { response }) => Some(response),
+            Some(LeafOp::Dequeue { responses }) => Some(responses),
             _ => None,
         }
     }
 
-    /// Whether this leaf block records a dequeue.
+    /// Whether this leaf block records a dequeue batch.
     pub fn is_dequeue(&self) -> bool {
         matches!(self.op, Some(LeafOp::Dequeue { .. }))
     }
 
-    /// The enqueued element, for leaf enqueue blocks.
-    pub fn element(&self) -> Option<&T> {
+    /// The enqueued elements (batch order), for leaf enqueue blocks; empty
+    /// for every other block kind.
+    pub fn elements(&self) -> &[T] {
         match &self.op {
-            Some(LeafOp::Enqueue(e)) => Some(e),
-            _ => None,
+            Some(LeafOp::Enqueue(e)) => e,
+            _ => &[],
         }
     }
 }
@@ -150,8 +172,8 @@ mod tests {
         assert_eq!((d.index, d.sumenq, d.sumdeq, d.size), (0, 0, 0, 0));
         assert!(d.op.is_none());
         assert!(!d.is_dequeue());
-        assert!(d.element().is_none());
-        assert!(d.response().is_none());
+        assert!(d.elements().is_empty());
+        assert!(d.responses().is_none());
     }
 
     #[test]
@@ -159,13 +181,31 @@ mod tests {
         let d: Arc<Block<&str>> = Block::dummy();
         let e = Block::leaf_enqueue(1, "x", &d);
         assert_eq!((e.sumenq, e.sumdeq), (1, 0));
-        assert_eq!(e.element(), Some(&"x"));
-        let q = Block::leaf_dequeue(2, &e);
+        assert_eq!(e.elements(), ["x"]);
+        let q = Block::leaf_dequeue_batch(2, 1, &e);
         assert_eq!((q.sumenq, q.sumdeq), (1, 1));
         assert!(q.is_dequeue());
-        assert!(q.response().unwrap().get().is_none());
-        q.response().unwrap().set(Some("x")).unwrap();
-        assert_eq!(q.response().unwrap().get(), Some(&Some("x")));
+        assert!(q.responses().unwrap().get().is_none());
+        q.responses().unwrap().set(vec![Some("x")]).unwrap();
+        assert_eq!(q.responses().unwrap().get(), Some(&vec![Some("x")]));
+    }
+
+    #[test]
+    fn batched_leaf_blocks_update_sums_by_batch_size() {
+        let d: Arc<Block<u8>> = Block::dummy();
+        let e = Block::leaf_enqueue_batch(1, vec![10, 11, 12], &d);
+        assert_eq!((e.sumenq, e.sumdeq), (3, 0));
+        assert_eq!(e.elements(), [10, 11, 12]);
+        let q = Block::leaf_dequeue_batch(2, 4, &e);
+        assert_eq!((q.sumenq, q.sumdeq), (3, 4));
+        assert!(q.is_dequeue());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_batches_panic() {
+        let d: Arc<Block<u8>> = Block::dummy();
+        let _ = Block::leaf_enqueue_batch(1, vec![], &d);
     }
 
     #[test]

@@ -52,23 +52,35 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
         let topo = *self.topology();
         for k in 0..topo.num_processes() {
             let leaf = topo.leaf_of(k);
-            let max_block = {
+            let (max_block, numdeq) = {
                 let guard = epoch::pin();
                 let tref = self.node(leaf).load(&guard);
-                Arc::clone(tref.tree.max().expect("trees are never empty").1)
+                let max = Arc::clone(tref.tree.max().expect("trees are never empty").1);
+                // Batch size of the pending dequeue block. If the
+                // predecessor was already discarded, the block is finished
+                // (Invariant 27) and needs no help.
+                let numdeq = if max.index > 0 {
+                    tref.tree
+                        .get((max.index - 1) as u64)
+                        .map(|prev| max.sumdeq - prev.sumdeq)
+                } else {
+                    None
+                };
+                (max, numdeq)
             };
+            let Some(numdeq) = numdeq else { continue };
             if max_block.is_dequeue()
                 && max_block.index > 0
                 && self.propagated(leaf, max_block.index)
             {
                 metrics::record_help();
-                if let Ok(response) = self.complete_deq(pid, leaf, max_block.index) {
+                if let Ok(responses) = self.complete_deq(pid, leaf, max_block.index, numdeq) {
                     // First writer wins; the owner (or another helper) may
-                    // have written it already.
+                    // have written them already.
                     let _ = max_block
-                        .response()
-                        .expect("is_dequeue implies a response cell")
-                        .set(response);
+                        .responses()
+                        .expect("is_dequeue implies a responses cell")
+                        .set(responses);
                 }
                 // On Err(Discarded) the operation was already finished by
                 // someone else (Invariant 27), so there is nothing to do.

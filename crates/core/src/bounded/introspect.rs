@@ -25,9 +25,11 @@ pub struct BlockInfo {
     pub endright: usize,
     /// Queue size after this block (root only).
     pub size: usize,
-    /// Rendered element for leaf enqueue blocks.
-    pub element: Option<String>,
-    /// Whether this is a leaf dequeue block, and whether its response is set.
+    /// Rendered elements for leaf enqueue blocks (batch order); empty
+    /// otherwise.
+    pub elements: Vec<String>,
+    /// Whether this is a leaf dequeue block, and whether its responses are
+    /// set.
     pub dequeue_with_response: Option<bool>,
 }
 
@@ -81,8 +83,8 @@ where
                     endleft: b.endleft,
                     endright: b.endright,
                     size: b.size,
-                    element: b.element().map(|e| format!("{e:?}")),
-                    dequeue_with_response: b.response().map(|c| c.is_set()),
+                    elements: b.elements().iter().map(|e| format!("{e:?}")).collect(),
+                    dequeue_with_response: b.responses().map(|c| c.is_set()),
                 })
                 .collect();
             NodeInfo {
@@ -124,8 +126,8 @@ where
 /// Machine-checks the structural invariants that survive garbage
 /// collection: consecutive block indices per node (Corollary 25), monotone
 /// prefix sums and interval ends (Lemma 4′/Invariant 7), non-empty blocks
-/// (Corollary 8), the root `size` recurrence (Lemma 16), and exactly one
-/// operation per leaf block.
+/// (Corollary 8), the root `size` recurrence (Lemma 16), and single-kind
+/// leaf batches (enqueues xor dequeues, one stored element per enqueue).
 ///
 /// Cross-node sum checks are skipped when the referenced child block has
 /// been discarded (the information is then no longer reachable, by design).
@@ -161,8 +163,18 @@ where
                 return Err(format!("node {v}: empty block {kb} (Corollary 8)"));
             }
             if topo.is_leaf(v) {
-                if numenq + numdeq != 1 {
-                    return Err(format!("node {v}: leaf block {kb} holds several ops"));
+                // Leaf blocks are single-kind batches (enqueues xor
+                // dequeues) with one stored element per enqueue.
+                if numenq > 0 && numdeq > 0 {
+                    return Err(format!(
+                        "node {v}: leaf block {kb} mixes {numenq} enqueues and {numdeq} dequeues"
+                    ));
+                }
+                if numenq != b.elements().len() {
+                    return Err(format!(
+                        "node {v}: leaf block {kb} stores {} elements for {numenq} enqueues",
+                        b.elements().len()
+                    ));
                 }
             } else {
                 if b.endleft < a.endleft || b.endright < a.endright {

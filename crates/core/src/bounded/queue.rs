@@ -123,12 +123,26 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
 
     /// Registers the calling context as the next process, or `None` if all
     /// handles are taken.
+    ///
+    /// Registration is capped (same fix as the unbounded twin): exhausted
+    /// queues return `None` without mutating the counter, so `Debug`'s
+    /// `registered` field never over-reports and the counter cannot wrap.
     pub fn register(&self) -> Option<Handle<'_, T, F>> {
-        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
-        if pid < self.topo.num_processes() {
-            Some(Handle { queue: self, pid })
-        } else {
-            None
+        let cap = self.topo.num_processes();
+        let mut pid = self.next_pid.load(Ordering::Relaxed);
+        loop {
+            if pid >= cap {
+                return None;
+            }
+            match self.next_pid.compare_exchange_weak(
+                pid,
+                pid + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Handle { queue: self, pid }),
+                Err(current) => pid = current,
+            }
         }
     }
 
@@ -178,6 +192,40 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
 
     /// `Dequeue()` — Figure 5 lines 206–217.
     fn dequeue(&self, pid: usize) -> Option<T> {
+        let mut responses = self.dequeue_batch(pid, 1);
+        responses.pop().expect("a batch of one has one response")
+    }
+
+    /// Batched enqueue: one leaf block carries the whole batch, so one
+    /// `AddBlock` + one `Propagate` (`O(log p · log(p + q))` amortized
+    /// steps) cover all `k` enqueues. A no-op for an empty batch.
+    fn enqueue_batch(&self, pid: usize, elements: Vec<T>) {
+        if elements.is_empty() {
+            return;
+        }
+        let leaf = self.topo.leaf_of(pid);
+        {
+            let guard = epoch::pin();
+            let tref = self.node(leaf).load(&guard);
+            let (max_key, prev) = tref.tree.max().expect("trees are never empty");
+            let h = max_key as usize + 1;
+            let block = Block::leaf_enqueue_batch(h, elements, prev);
+            let next = self.add_block(pid, leaf, tref.tree, block, &guard);
+            let published = self.node(leaf).try_publish(&tref, next, &guard);
+            assert!(published, "leaf trees have a single writer (the owner)");
+        }
+        self.propagate(pid, self.topo.parent(leaf));
+    }
+
+    /// Batched dequeue: appends one leaf block with `count` dequeues,
+    /// propagates once, and computes all responses with one `IndexDequeue`
+    /// followed by `count` successive `FindResponse` calls against the same
+    /// root block (blocks are never split during propagation, so the
+    /// batch's dequeues have consecutive ranks there).
+    fn dequeue_batch(&self, pid: usize, count: usize) -> Vec<Option<T>> {
+        if count == 0 {
+            return Vec::new();
+        }
         let leaf = self.topo.leaf_of(pid);
         let block;
         let h;
@@ -186,22 +234,22 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
             let tref = self.node(leaf).load(&guard);
             let (max_key, prev) = tref.tree.max().expect("trees are never empty");
             h = max_key as usize + 1;
-            block = Block::leaf_dequeue(h, prev);
+            block = Block::leaf_dequeue_batch(h, count, prev);
             let next = self.add_block(pid, leaf, tref.tree, Arc::clone(&block), &guard);
             let published = self.node(leaf).try_publish(&tref, next, &guard);
             assert!(published, "leaf trees have a single writer (the owner)");
         }
         self.propagate(pid, self.topo.parent(leaf));
-        match self.complete_deq(pid, leaf, h) {
-            Ok(response) => response,
+        match self.complete_deq(pid, leaf, h, count) {
+            Ok(responses) => responses,
             Err(Discarded) => {
-                // Lemma 28: a block needed to compute our response was
+                // Lemma 28: a block needed to compute our responses was
                 // discarded, which (Invariant 27) happens only after some
-                // helper wrote the response into our leaf block. The write
+                // helper wrote the responses into our leaf block. The write
                 // happens-before the tree version we observed the discard
                 // in, so it is visible now; spin defensively regardless.
                 let cell = block
-                    .response()
+                    .responses()
                     .expect("the block we appended is a dequeue block");
                 let mut spins = 0u64;
                 loop {
@@ -349,6 +397,31 @@ impl<'q, T: Clone + Send + Sync, F: StoreFamily> Handle<'q, T, F> {
     #[must_use = "a dequeued value should be used (None means the queue was empty)"]
     pub fn dequeue(&mut self) -> Option<T> {
         self.queue.dequeue(self.pid)
+    }
+
+    /// Enqueues every value of `values` as one atomic batch; see
+    /// [`crate::unbounded::Handle::enqueue_batch`] — one leaf block, one
+    /// propagation, values contiguous in the linearization.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue_batch([1, 2]);
+    /// assert_eq!(h.dequeue_batch(3), vec![Some(1), Some(2), None]);
+    /// ```
+    pub fn enqueue_batch(&mut self, values: impl IntoIterator<Item = T>) {
+        self.queue
+            .enqueue_batch(self.pid, values.into_iter().collect());
+    }
+
+    /// Performs `count` dequeues as one atomic batch, returning the
+    /// responses in batch order; see
+    /// [`crate::unbounded::Handle::dequeue_batch`].
+    #[must_use = "dequeued values should be used (None entries mean the queue was empty)"]
+    pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        self.queue.dequeue_batch(self.pid, count)
     }
 
     /// Dequeues until the queue reports empty, yielding each value; see

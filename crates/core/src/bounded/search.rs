@@ -33,16 +33,26 @@ where
 }
 
 impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
-    /// `CompleteDeq(leaf, h)` — Figure 5 lines 212–217: compute the response
-    /// of the propagated dequeue stored in `leaf`'s block `h`.
+    /// `CompleteDeq(leaf, h)` — Figure 5 lines 212–217, generalized to a
+    /// batch: compute the responses of the `numdeq` propagated dequeues
+    /// stored in `leaf`'s block `h`, in batch order.
+    ///
+    /// Blocks are propagated wholesale (never split), so all `numdeq`
+    /// dequeues of the leaf block map into the *same* root block with
+    /// consecutive ranks: one `IndexDequeue` walk locates the first, and
+    /// each successive response is one more `FindResponse` against that
+    /// root block. For `numdeq = 1` this is exactly the paper's routine.
     pub(crate) fn complete_deq(
         &self,
         pid: usize,
         leaf: usize,
         h: usize,
-    ) -> Result<Option<T>, Discarded> {
+        numdeq: usize,
+    ) -> Result<Vec<Option<T>>, Discarded> {
         let (b, i) = self.index_dequeue(leaf, h, 1)?;
-        self.find_response(pid, b, i)
+        (0..numdeq)
+            .map(|j| self.find_response(pid, b, i + j))
+            .collect()
     }
 
     /// `IndexDequeue(v, b, i)` — Figure 5 lines 281–297. Instead of the
@@ -142,9 +152,12 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
             if topo.is_leaf(v) {
                 let tref = self.node(v).load(&guard);
                 let blk = lookup(tref.tree, b)?;
+                // Rank within the leaf block: batched enqueue blocks store
+                // their elements in batch order (i = 1 for single-op blocks).
                 return Ok(blk
-                    .element()
-                    .expect("GetEnqueue lands on an enqueue block")
+                    .elements()
+                    .get(i - 1)
+                    .expect("GetEnqueue lands on an enqueue block holding rank i")
                     .clone());
             }
             let tref = self.node(v).load(&guard);

@@ -435,6 +435,122 @@ mod avl_backed {
 }
 
 #[test]
+fn exhausted_registration_does_not_inflate_counter() {
+    // Same regression as the unbounded twin: exhausted `register` calls
+    // must not keep bumping the counter.
+    let q: Queue<u8> = Queue::new(2);
+    let _handles = q.handles();
+    for _ in 0..50 {
+        assert!(q.register().is_none());
+    }
+    assert!(
+        format!("{q:?}").contains("registered: 2"),
+        "counter over-reported: {q:?}"
+    );
+}
+
+#[test]
+fn batch_operations_match_vecdeque_under_gc() {
+    // Aggressive GC exercises the batched Discarded/help paths.
+    let q: Queue<u64> = Queue::with_gc_period(2, 2);
+    let mut handles = q.handles();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next = 0u64;
+    for round in 0..80usize {
+        let who = round % 2;
+        let k = round % 6;
+        if round % 3 != 1 {
+            let batch: Vec<u64> = (0..k as u64).map(|j| next + j).collect();
+            next += k as u64;
+            model.extend(batch.iter().copied());
+            handles[who].enqueue_batch(batch);
+        } else {
+            let expect: Vec<Option<u64>> = (0..k).map(|_| model.pop_front()).collect();
+            assert_eq!(handles[who].dequeue_batch(k), expect, "round {round}");
+        }
+    }
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn batch_of_one_matches_per_op_cas_count_exactly() {
+    let script = |ops: &mut dyn FnMut(bool, u64)| {
+        for i in 0..120u64 {
+            ops(i % 3 != 2, i);
+        }
+    };
+    let per_op = {
+        let q: Queue<u64> = Queue::with_gc_period(2, 8);
+        let mut h = q.register().unwrap();
+        let (_, steps) = wfqueue_metrics::measure(|| {
+            script(&mut |enq, i| {
+                if enq {
+                    h.enqueue(i);
+                } else {
+                    let _ = h.dequeue();
+                }
+            });
+        });
+        steps
+    };
+    let batched = {
+        let q: Queue<u64> = Queue::with_gc_period(2, 8);
+        let mut h = q.register().unwrap();
+        let (_, steps) = wfqueue_metrics::measure(|| {
+            script(&mut |enq, i| {
+                if enq {
+                    h.enqueue_batch([i]);
+                } else {
+                    let _ = h.dequeue_batch(1);
+                }
+            });
+        });
+        steps
+    };
+    assert_eq!(per_op.cas_total(), batched.cas_total(), "CAS count differs");
+}
+
+#[test]
+fn concurrent_batches_no_loss_no_duplication() {
+    let threads = 4usize;
+    let q: Queue<u64> = Queue::with_gc_period(threads, 8);
+    let mut handles = q.handles();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut h = handles.remove(0);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut enqueued = 0u64;
+                    for i in 0..200u64 {
+                        let k = (i % 5) as usize + 1;
+                        if i % 2 == 0 {
+                            let base = ((t as u64) << 32) | (i * 8);
+                            h.enqueue_batch((0..k as u64).map(|j| base + j));
+                            enqueued += k as u64;
+                        } else {
+                            got.extend(h.dequeue_batch(k).into_iter().flatten());
+                        }
+                    }
+                    while let Some(v) = h.dequeue() {
+                        got.push(v);
+                    }
+                    (got, enqueued)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let total: u64 = results.iter().map(|(_, e)| *e).sum();
+    let mut all: Vec<u64> = results.into_iter().flat_map(|(g, _)| g).collect();
+    assert_eq!(all.len() as u64, total, "lost or extra values");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, total, "duplicated values");
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
 fn approx_len_and_drain() {
     let q: Queue<u32> = Queue::with_gc_period(1, 4);
     let mut h = q.register().unwrap();

@@ -1,4 +1,5 @@
-//! Blocks of the unbounded queue (Figure 3 of the paper).
+//! Blocks of the unbounded queue (Figure 3 of the paper, extended with
+//! batched leaf blocks).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -8,9 +9,13 @@ use crate::NIL;
 
 /// One block in a node's `blocks` array.
 ///
-/// Leaf blocks represent a single operation (`element` is `Some(v)` for
-/// `Enqueue(v)`, `None` for a `Dequeue`). Internal blocks implicitly
-/// represent the operations of their direct subblocks through the
+/// Leaf blocks represent a *batch* of operations by one process: either
+/// `numenq ≥ 1` enqueues (whose values are stored in `elements`, in order)
+/// or `numdeq ≥ 1` dequeues (`elements` is empty). The paper's one-operation
+/// leaf blocks are the `numenq + numdeq = 1` special case; batching changes
+/// nothing structurally because internal blocks already aggregate arbitrary
+/// operation counts through the O(1)-mergeable prefix sums. Internal blocks
+/// implicitly represent the operations of their direct subblocks through the
 /// `endleft`/`endright` interval ends; `sumenq`/`sumdeq` are prefix sums
 /// over the whole `blocks` array (Invariant 7), and root blocks additionally
 /// carry the queue `size` after the block's operations.
@@ -32,8 +37,9 @@ pub(crate) struct Block<T> {
     /// Approximate index of this block's superblock in the parent's
     /// `blocks` array; off by at most one (Lemma 12). `NIL` until set.
     sup: AtomicUsize,
-    /// Enqueued value for a leaf enqueue block; `None` otherwise.
-    pub element: Option<T>,
+    /// Enqueued values for a leaf enqueue batch, in enqueue order; empty for
+    /// dequeue batches, internal blocks and the dummy.
+    pub elements: Vec<T>,
 }
 
 impl<T> Block<T> {
@@ -47,33 +53,54 @@ impl<T> Block<T> {
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
-            element: None,
+            elements: Vec::new(),
         }
     }
 
     /// A fresh leaf block for `Enqueue(element)` (Figure 4 line 2).
     pub fn leaf_enqueue(element: T, prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        Self::leaf_enqueue_batch(vec![element], prev_sumenq, prev_sumdeq)
+    }
+
+    /// A fresh leaf block carrying a whole batch of enqueues: one
+    /// `try_install` + one `Propagate` will cover all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty (blocks are non-empty, Corollary 8).
+    pub fn leaf_enqueue_batch(elements: Vec<T>, prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        assert!(!elements.is_empty(), "leaf blocks are non-empty");
         Block {
-            sumenq: prev_sumenq + 1,
+            sumenq: prev_sumenq + elements.len(),
             sumdeq: prev_sumdeq,
             endleft: 0,
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
-            element: Some(element),
+            elements,
         }
     }
 
     /// A fresh leaf block for a `Dequeue` (Figure 4 line 6).
     pub fn leaf_dequeue(prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        Self::leaf_dequeue_batch(1, prev_sumenq, prev_sumdeq)
+    }
+
+    /// A fresh leaf block carrying a batch of `count` dequeues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (blocks are non-empty, Corollary 8).
+    pub fn leaf_dequeue_batch(count: usize, prev_sumenq: usize, prev_sumdeq: usize) -> Self {
+        assert!(count > 0, "leaf blocks are non-empty");
         Block {
             sumenq: prev_sumenq,
-            sumdeq: prev_sumdeq + 1,
+            sumdeq: prev_sumdeq + count,
             endleft: 0,
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
-            element: None,
+            elements: Vec::new(),
         }
     }
 
@@ -93,7 +120,7 @@ impl<T> Block<T> {
             endright,
             size,
             sup: AtomicUsize::new(NIL),
-            element: None,
+            elements: Vec::new(),
         }
     }
 
@@ -124,9 +151,10 @@ impl<T> Block<T> {
         }
     }
 
-    /// Whether this leaf block represents a dequeue (non-dummy, no element).
+    /// Whether this leaf block represents a dequeue batch (non-dummy, no
+    /// elements).
     pub fn is_leaf_dequeue(&self) -> bool {
-        self.element.is_none() && self.sumdeq > 0
+        self.elements.is_empty() && self.sumdeq > 0
     }
 }
 
@@ -141,7 +169,7 @@ mod tests {
             (b.sumenq, b.sumdeq, b.endleft, b.endright, b.size),
             (0, 0, 0, 0, 0)
         );
-        assert!(b.element.is_none());
+        assert!(b.elements.is_empty());
         assert!(b.sup().is_none());
     }
 
@@ -149,13 +177,37 @@ mod tests {
     fn leaf_blocks_extend_prefix_sums() {
         let e = Block::leaf_enqueue("x", 4, 7);
         assert_eq!((e.sumenq, e.sumdeq), (5, 7));
-        assert_eq!(e.element, Some("x"));
+        assert_eq!(e.elements, vec!["x"]);
         assert!(!e.is_leaf_dequeue());
 
         let d: Block<&str> = Block::leaf_dequeue(4, 7);
         assert_eq!((d.sumenq, d.sumdeq), (4, 8));
-        assert!(d.element.is_none());
+        assert!(d.elements.is_empty());
         assert!(d.is_leaf_dequeue());
+    }
+
+    #[test]
+    fn batched_leaf_blocks_extend_sums_by_batch_size() {
+        let e = Block::leaf_enqueue_batch(vec!["a", "b", "c"], 4, 7);
+        assert_eq!((e.sumenq, e.sumdeq), (7, 7));
+        assert_eq!(e.elements, vec!["a", "b", "c"]);
+        assert!(!e.is_leaf_dequeue());
+
+        let d: Block<&str> = Block::leaf_dequeue_batch(5, 4, 7);
+        assert_eq!((d.sumenq, d.sumdeq), (4, 12));
+        assert!(d.is_leaf_dequeue());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_enqueue_batch_panics() {
+        let _ = Block::<u8>::leaf_enqueue_batch(vec![], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dequeue_batch_panics() {
+        let _ = Block::<u8>::leaf_dequeue_batch(0, 0, 0);
     }
 
     #[test]

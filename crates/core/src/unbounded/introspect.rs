@@ -30,10 +30,11 @@ pub struct BlockInfo {
     pub size: usize,
     /// The `super` hint, if already set.
     pub sup: Option<usize>,
-    /// Rendered element for leaf enqueue blocks.
-    pub element: Option<String>,
-    /// Whether this is a leaf dequeue block.
-    pub is_dequeue: bool,
+    /// Rendered elements for leaf enqueue blocks (one per enqueue of the
+    /// batch, in order); empty otherwise.
+    pub elements: Vec<String>,
+    /// Number of dequeues in a leaf dequeue block (0 for other blocks).
+    pub num_dequeues: usize,
 }
 
 /// A snapshot of one ordering-tree node.
@@ -72,7 +73,9 @@ where
             let head = node.head();
             let mut blocks = Vec::new();
             let mut i = 0;
+            let mut prev_sumdeq = 0;
             while let Some(b) = node.block(i) {
+                let is_deq = topo.is_leaf(v) && i > 0 && b.is_leaf_dequeue();
                 blocks.push(BlockInfo {
                     index: i,
                     sumenq: b.sumenq,
@@ -81,9 +84,10 @@ where
                     endright: b.endright,
                     size: b.size,
                     sup: b.sup(),
-                    element: b.element.as_ref().map(|e| format!("{e:?}")),
-                    is_dequeue: topo.is_leaf(v) && i > 0 && b.is_leaf_dequeue(),
+                    elements: b.elements.iter().map(|e| format!("{e:?}")).collect(),
+                    num_dequeues: if is_deq { b.sumdeq - prev_sumdeq } else { 0 },
                 });
+                prev_sumdeq = b.sumdeq;
                 i += 1;
             }
             NodeInfo {
@@ -127,10 +131,12 @@ pub fn render(nodes: &[NodeInfo]) -> String {
             if let Some(s) = b.sup {
                 let _ = write!(out, " super={s}");
             }
-            if let Some(e) = &b.element {
-                let _ = write!(out, " Enq({e})");
-            } else if b.is_dequeue {
+            if !b.elements.is_empty() {
+                let _ = write!(out, " Enq({})", b.elements.join(","));
+            } else if b.num_dequeues == 1 {
                 let _ = write!(out, " Deq");
+            } else if b.num_dequeues > 1 {
+                let _ = write!(out, " Deq×{}", b.num_dequeues);
             }
             let _ = writeln!(out);
         }
@@ -166,13 +172,12 @@ where
     let topo = *queue.topology();
     let node = queue.node(v);
     let blk = node.block(b).expect("block_ops called on installed block");
-    if topo.is_leaf(v) {
-        return match &blk.element {
-            Some(e) => (vec![e.clone()], 0),
-            None => (vec![], 1),
-        };
-    }
     let prev = node.block(b - 1).expect("dense prefix");
+    if topo.is_leaf(v) {
+        // A leaf block is a whole batch: its enqueues in order, or
+        // `sumdeq - prev.sumdeq` dequeues.
+        return (blk.elements.clone(), blk.sumdeq - prev.sumdeq);
+    }
     let mut enqs = Vec::new();
     let mut deqs = 0;
     for (child, lo, hi) in [
@@ -257,13 +262,19 @@ where
                 return Err(format!("node {v}: block {i} is empty (Corollary 8)"));
             }
             if topo.is_leaf(v) {
-                if numenq + numdeq != 1 {
+                // Leaf blocks are single-kind batches: `numenq ≥ 1`
+                // enqueues (with exactly one stored element each) or
+                // `numdeq ≥ 1` dequeues — never a mix.
+                if numenq > 0 && numdeq > 0 {
                     return Err(format!(
-                        "node {v}: leaf block {i} holds {numenq}+{numdeq} ops"
+                        "node {v}: leaf block {i} mixes {numenq} enqueues and {numdeq} dequeues"
                     ));
                 }
-                if (numenq == 1) != blk.element.is_some() {
-                    return Err(format!("node {v}: leaf block {i} element/op mismatch"));
+                if numenq != blk.elements.len() {
+                    return Err(format!(
+                        "node {v}: leaf block {i} stores {} elements for {numenq} enqueues",
+                        blk.elements.len()
+                    ));
                 }
             } else {
                 // Lemma 4: interval ends are monotone.

@@ -15,7 +15,10 @@ use crate::topology::Topology;
 /// obtains a [`Handle`] bound to its own leaf of the ordering tree and
 /// performs operations through it. Enqueues take `O(log p)` shared-memory
 /// steps; dequeues take `O(log² p + log q)` steps; every operation performs
-/// `O(log p)` CAS instructions (Proposition 19, Theorem 22).
+/// `O(log p)` CAS instructions (Proposition 19, Theorem 22). Batched
+/// operations ([`Handle::enqueue_batch`], [`Handle::dequeue_batch`]) append
+/// one leaf block per batch, amortizing the whole `O(log p)` propagation
+/// (and its CAS budget) over the `k` operations of the batch.
 ///
 /// This variant never reclaims blocks — memory grows with the number of
 /// operations, exactly as in §3 of the paper (space bounding is what
@@ -66,9 +69,18 @@ impl<T: Clone + Send + Sync> Queue<T> {
     /// The queue's size after the last operation propagated to the root —
     /// the `size` field of the newest root block (Lemma 16).
     ///
-    /// This is exact at quiescence and otherwise a recent-past snapshot
-    /// (operations still propagating are not yet counted), which is the
-    /// strongest "length" any linearizable queue can offer concurrently.
+    /// Precisely: the returned value is the `size` of a root block that was
+    /// the *newest installed* root block at some instant during this call
+    /// (the scan below starts from `head - 1`, which Invariant 3 guarantees
+    /// is installed, and walks forward past every block installed since
+    /// `head` was read). This is exact at quiescence and otherwise a
+    /// recent-past snapshot (operations still propagating are not yet
+    /// counted), which is the strongest "length" any linearizable queue can
+    /// offer concurrently. The cost is two shared loads at quiescence plus
+    /// one load per root block installed concurrently with the call — this
+    /// is an introspection helper, not one of the wait-free queue
+    /// operations, and its step count is bounded by other processes'
+    /// progress during the call.
     ///
     /// # Examples
     ///
@@ -83,21 +95,44 @@ impl<T: Clone + Send + Sync> Queue<T> {
     pub fn approx_len(&self) -> usize {
         let root = self.topo.root();
         let node = self.node(root);
-        let h = node.head();
-        // head may lag one behind an installed block (Invariant 3).
-        let last = if node.block(h).is_some() { h } else { h - 1 };
+        // `head` may lag arbitrarily many installs behind by the time we
+        // probe (reading `head` and probing `blocks` are two separate shared
+        // accesses), so scan forward to the newest installed block instead
+        // of probing `blocks[head]` alone — the old probe could return a
+        // snapshot several blocks stale when concurrent operations kept
+        // installing between the two reads.
+        let mut last = node.head() - 1;
+        while node.block(last + 1).is_some() {
+            last += 1;
+        }
         node.block_installed(last, "Invariant 3: root prefix is installed")
             .size
     }
 
     /// Registers the calling context as the next process, returning its
     /// handle, or `None` if all `num_processes` handles have been taken.
+    ///
+    /// Registration is capped: once all handles are taken, further calls
+    /// return `None` without mutating the registration counter (a plain
+    /// `fetch_add` would keep climbing, over-reporting `Debug`'s
+    /// `registered` field and — theoretically, after a wrap — re-issuing
+    /// pid 0).
     pub fn register(&self) -> Option<Handle<'_, T>> {
-        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
-        if pid < self.topo.num_processes() {
-            Some(Handle { queue: self, pid })
-        } else {
-            None
+        let cap = self.topo.num_processes();
+        let mut pid = self.next_pid.load(Ordering::Relaxed);
+        loop {
+            if pid >= cap {
+                return None;
+            }
+            match self.next_pid.compare_exchange_weak(
+                pid,
+                pid + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Handle { queue: self, pid }),
+                Err(current) => pid = current,
+            }
         }
     }
 
@@ -134,6 +169,47 @@ impl<T: Clone + Send + Sync> Queue<T> {
         self.append(leaf, h, block);
         let (b, i) = self.index_dequeue(leaf, h, 1);
         self.find_response(b, i)
+    }
+
+    /// Batched enqueue: appends a *single* leaf block carrying all of
+    /// `elements`, so one `try_install` and one `Propagate` cover the whole
+    /// batch — `O(log p)` shared steps total, i.e. `O(log p / k)` amortized
+    /// per enqueue for a batch of `k`. A no-op for an empty batch.
+    fn enqueue_batch(&self, pid: usize, elements: Vec<T>) {
+        if elements.is_empty() {
+            return;
+        }
+        let leaf = self.topo.leaf_of(pid);
+        let node = self.node(leaf);
+        let h = node.head();
+        let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
+        let block = Block::leaf_enqueue_batch(elements, prev.sumenq, prev.sumdeq);
+        self.append(leaf, h, block);
+    }
+
+    /// Batched dequeue: appends a single leaf block carrying `count`
+    /// dequeues, propagates once, then computes all responses with one
+    /// `IndexDequeue` followed by `count` successive `FindResponse` calls.
+    ///
+    /// The whole leaf block becomes a subblock of exactly one superblock per
+    /// level (blocks are never split during propagation), so all `count`
+    /// dequeues land in the same root block `b` with consecutive ranks
+    /// `i, i+1, …` — the propagation and indexing cost `O(log p)` is paid
+    /// once for the batch, and each response adds the `O(log q)` search of
+    /// Lemma 20 (against the same root block). The responses are in batch
+    /// order; `None` marks a dequeue that linearized on an empty queue.
+    fn dequeue_batch(&self, pid: usize, count: usize) -> Vec<Option<T>> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let leaf = self.topo.leaf_of(pid);
+        let node = self.node(leaf);
+        let h = node.head();
+        let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
+        let block = Block::leaf_dequeue_batch(count, prev.sumenq, prev.sumdeq);
+        self.append(leaf, h, block);
+        let (b, i) = self.index_dequeue(leaf, h, 1);
+        (0..count).map(|j| self.find_response(b, i + j)).collect()
     }
 
     /// `Append(B)` — Figure 4 lines 11–15.
@@ -290,6 +366,42 @@ impl<'q, T: Clone + Send + Sync> Handle<'q, T> {
     #[must_use = "a dequeued value should be used (None means the queue was empty)"]
     pub fn dequeue(&mut self) -> Option<T> {
         self.queue.dequeue(self.pid)
+    }
+
+    /// Enqueues every value of `values` as **one atomic batch**: a single
+    /// leaf block carries the whole batch, so the values appear contiguously
+    /// in the linearization (no other process's operation interleaves
+    /// between them) and the `O(log p)` propagation cost is paid once —
+    /// `O(log p / k)` amortized shared steps per enqueue for a batch of `k`.
+    ///
+    /// A batch of one is behaviourally identical to [`Handle::enqueue`]
+    /// (same blocks, same CAS count); an empty batch is a no-op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue_batch([1, 2, 3]);
+    /// assert_eq!(h.dequeue_batch(4), vec![Some(1), Some(2), Some(3), None]);
+    /// ```
+    pub fn enqueue_batch(&mut self, values: impl IntoIterator<Item = T>) {
+        self.queue
+            .enqueue_batch(self.pid, values.into_iter().collect());
+    }
+
+    /// Performs `count` dequeues as **one atomic batch** and returns their
+    /// responses in order (`None` entries are dequeues that linearized on an
+    /// empty queue).
+    ///
+    /// The batch appends a single leaf block and propagates once, then
+    /// resolves every response against the same root block: the batch costs
+    /// `O(log² p + k·log q)` shared steps instead of `k` times the full
+    /// per-dequeue bound. A batch of one is behaviourally identical to
+    /// [`Handle::dequeue`]; a batch of zero returns an empty vec.
+    #[must_use = "dequeued values should be used (None entries mean the queue was empty)"]
+    pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        self.queue.dequeue_batch(self.pid, count)
     }
 
     /// Dequeues until the queue reports empty, yielding each value.

@@ -211,12 +211,18 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let (mut v, mut b, mut i) = (v, b, i);
         loop {
             if topo.is_leaf(v) {
-                return self
+                // Rank *within* the leaf block: a batched leaf block stores
+                // its whole enqueue batch in order, so the i-th enqueue of
+                // E(blocks[b]) is simply elements[i - 1] (i = 1 for the
+                // paper's single-operation blocks).
+                let blk = self
                     .node(v)
-                    .block_installed(b, "GetEnqueue precondition: leaf block installed")
-                    .element
-                    .clone()
-                    .expect("GetEnqueue lands on an enqueue block, which stores its element");
+                    .block_installed(b, "GetEnqueue precondition: leaf block installed");
+                return blk
+                    .elements
+                    .get(i - 1)
+                    .cloned()
+                    .expect("GetEnqueue lands on an enqueue block holding rank i");
             }
             let blk = self
                 .node(v)

@@ -85,6 +85,64 @@ pub fn record_history<Q: ConcurrentQueue<u32>>(
     per_thread.into_iter().flatten().collect()
 }
 
+/// Records a complete concurrent history of **batched** operations: each of
+/// `threads × batches_per_thread` batches is an `enqueue_batch` or
+/// `dequeue_batch` of `batch_size` operations, contributing `batch_size`
+/// events that share the batch's invocation/response timestamps (the batch
+/// appends one leaf block, so its operations all overlap the whole batch
+/// interval; the checker is then free to order them, and a linearization
+/// exists iff the batch's operations can be placed — in particular in their
+/// batch order, which native batching guarantees).
+pub fn record_batch_history<Q: ConcurrentQueue<u32>>(
+    queue: &Q,
+    threads: usize,
+    batches_per_thread: usize,
+    batch_size: usize,
+    enqueue_permille: u32,
+    seed: u64,
+) -> Vec<Event> {
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(threads);
+    let handles: Vec<Q::Handle<'_>> = (0..threads).map(|_| queue.handle()).collect();
+    let per_thread: Vec<Vec<Event>> = std::thread::scope(|s| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(tid, mut handle)| {
+                let clock = &clock;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut rng = SplitMix64::new(seed.wrapping_add(tid as u64 * 7919));
+                    let mut events = Vec::with_capacity(batches_per_thread * batch_size);
+                    barrier.wait();
+                    for batch in 0..batches_per_thread {
+                        let is_enq = rng.chance_permille(enqueue_permille);
+                        let invoke = clock.fetch_add(1, Ordering::SeqCst);
+                        let ops: Vec<Op> = if is_enq {
+                            let values: Vec<u32> = (0..batch_size)
+                                .map(|j| ((tid as u32) << 16) | (batch * batch_size + j) as u32)
+                                .collect();
+                            handle.enqueue_batch(values.clone());
+                            values.into_iter().map(Op::Enqueue).collect()
+                        } else {
+                            handle
+                                .dequeue_batch(batch_size)
+                                .into_iter()
+                                .map(Op::Dequeue)
+                                .collect()
+                        };
+                        let ret = clock.fetch_add(1, Ordering::SeqCst);
+                        events.extend(ops.into_iter().map(|op| Event { invoke, ret, op }));
+                    }
+                    events
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    per_thread.into_iter().flatten().collect()
+}
+
 /// Searches for a valid linearization of `history` against the sequential
 /// FIFO queue specification.
 ///
@@ -282,5 +340,16 @@ mod tests {
     fn check_rounds_smoke() {
         use crate::queue_api::CoarseMutex;
         check_rounds(CoarseMutex::new, 2, 3, 6).unwrap();
+    }
+
+    #[test]
+    fn batch_histories_from_reference_queue_pass() {
+        use crate::queue_api::CoarseMutex;
+        for seed in 0..6 {
+            let q = CoarseMutex::new();
+            let h = record_batch_history(&q, 2, 3, 3, 500, seed);
+            assert_eq!(h.len(), 18);
+            check_linearizable(&h).unwrap();
+        }
     }
 }

@@ -244,6 +244,251 @@ pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> 
     report
 }
 
+// ---------------------------------------------------------------------------
+// Batched closed-loop workload
+// ---------------------------------------------------------------------------
+
+/// Parameters of one batched workload run: every operation is an
+/// `enqueue_batch` / `dequeue_batch` of `batch_size` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchWorkloadSpec {
+    /// Number of worker threads (each gets one queue handle).
+    pub threads: usize,
+    /// Batches performed by each thread.
+    pub batches_per_thread: usize,
+    /// Operations per batch (1 = the plain per-op workload shape).
+    pub batch_size: usize,
+    /// Probability (per mille) that a batch is an enqueue batch.
+    pub enqueue_permille: u32,
+    /// Values enqueued before the measured phase starts.
+    pub prefill: usize,
+    /// Seed for the deterministic batch mix.
+    pub seed: u64,
+}
+
+impl Default for BatchWorkloadSpec {
+    fn default() -> Self {
+        BatchWorkloadSpec {
+            threads: 2,
+            batches_per_thread: 1_000,
+            batch_size: 8,
+            enqueue_permille: 500,
+            prefill: 0,
+            seed: 0xBA7C_4ED0,
+        }
+    }
+}
+
+/// Outcome of one batched workload run. Step statistics are recorded **per
+/// batch** (one `measure` spans the whole batch); value counts are per
+/// individual operation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchRunReport {
+    /// Aggregated per-batch statistics for enqueue batches.
+    pub enqueue_batches: OpClassStats,
+    /// Aggregated per-batch statistics for dequeue batches.
+    pub dequeue_batches: OpClassStats,
+    /// Operations per batch this run used.
+    pub batch_size: usize,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Whether every consumed value respected per-producer FIFO order (both
+    /// across batches and within each dequeued batch).
+    pub fifo_ok: bool,
+    /// Whether no value was consumed twice.
+    pub no_duplicates: bool,
+    /// Values enqueued during the measured phase (excludes prefill).
+    pub enqueued: u64,
+    /// Values dequeued during the measured phase (includes prefill values).
+    pub dequeued: u64,
+    /// Dequeue responses that were `None` (queue empty).
+    pub null_responses: u64,
+}
+
+impl BatchRunReport {
+    /// Total individual operations (batches × batch size).
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        (self.enqueue_batches.count + self.dequeue_batches.count) * self.batch_size as u64
+    }
+
+    /// Mean shared-memory steps per *individual operation* — the amortized
+    /// quantity batching improves.
+    #[must_use]
+    pub fn steps_per_op(&self) -> f64 {
+        let total = self.enqueue_batches.steps_total + self.dequeue_batches.steps_total;
+        if self.total_ops() == 0 {
+            0.0
+        } else {
+            total as f64 / self.total_ops() as f64
+        }
+    }
+
+    /// Mean CAS instructions per individual operation.
+    #[must_use]
+    pub fn cas_per_op(&self) -> f64 {
+        let total = self.enqueue_batches.cas_total + self.dequeue_batches.cas_total;
+        if self.total_ops() == 0 {
+            0.0
+        } else {
+            total as f64 / self.total_ops() as f64
+        }
+    }
+
+    /// Throughput in individual operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / secs
+        }
+    }
+
+    /// All safety audits passed.
+    #[must_use]
+    pub fn audits_ok(&self) -> bool {
+        self.fifo_ok && self.no_duplicates
+    }
+}
+
+/// Runs a batched closed loop against `queue`: each thread performs
+/// `batches_per_thread` batches of `batch_size` operations, auditing
+/// per-producer FIFO order (across *and within* batches) and global
+/// no-loss/no-duplication exactly like [`run_workload`].
+///
+/// # Panics
+///
+/// Panics if the queue cannot hand out `spec.threads` handles or
+/// `spec.batch_size` is zero.
+pub fn run_batch_workload<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    spec: &BatchWorkloadSpec,
+) -> BatchRunReport {
+    assert!(spec.threads > 0, "need at least one thread");
+    assert!(spec.batch_size > 0, "batch_size must be at least 1");
+    let barrier = Barrier::new(spec.threads);
+    let consumed_counter = AtomicU64::new(0);
+    let enqueued_counter = AtomicU64::new(0);
+
+    struct ThreadOutcome {
+        enqueue_batches: OpClassStats,
+        dequeue_batches: OpClassStats,
+        fifo_ok: bool,
+        nulls: u64,
+        consumed: Vec<u64>,
+    }
+
+    let mut handles: Vec<Q::Handle<'_>> = (0..spec.threads).map(|_| queue.handle()).collect();
+
+    // Prefill through thread 0's handle with producer tag = threads (a
+    // pseudo-producer that never produces again).
+    {
+        let h = &mut handles[0];
+        for i in 0..spec.prefill {
+            h.enqueue(tag(spec.threads, i as u64));
+        }
+    }
+
+    let start = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(tid, mut handle)| {
+                let barrier = &barrier;
+                let consumed_counter = &consumed_counter;
+                let enqueued_counter = &enqueued_counter;
+                s.spawn(move || {
+                    let mut rng = SplitMix64::new(spec.seed ^ (tid as u64).wrapping_mul(0x9E37));
+                    let mut enqueue_batches = OpClassStats::default();
+                    let mut dequeue_batches = OpClassStats::default();
+                    let mut last_seen: Vec<Option<u64>> = vec![None; spec.threads + 1];
+                    let mut fifo_ok = true;
+                    let mut nulls = 0u64;
+                    let mut consumed = Vec::new();
+                    let mut seq = 0u64;
+                    barrier.wait();
+                    for _ in 0..spec.batches_per_thread {
+                        if rng.chance_permille(spec.enqueue_permille) {
+                            let batch: Vec<u64> = (0..spec.batch_size)
+                                .map(|_| {
+                                    let v = tag(tid, seq);
+                                    seq += 1;
+                                    v
+                                })
+                                .collect();
+                            let ((), steps) =
+                                wfqueue_metrics::measure(|| handle.enqueue_batch(batch));
+                            enqueue_batches.record(&steps);
+                        } else {
+                            let (responses, steps) =
+                                wfqueue_metrics::measure(|| handle.dequeue_batch(spec.batch_size));
+                            dequeue_batches.record(&steps);
+                            for result in responses {
+                                match result {
+                                    Some(value) => {
+                                        let (producer, s) = untag(value);
+                                        if let Some(prev) =
+                                            last_seen.get(producer).copied().flatten()
+                                        {
+                                            if s <= prev {
+                                                fifo_ok = false;
+                                            }
+                                        }
+                                        if let Some(slot) = last_seen.get_mut(producer) {
+                                            *slot = Some(s);
+                                        } else {
+                                            fifo_ok = false;
+                                        }
+                                        consumed.push(value);
+                                    }
+                                    None => nulls += 1,
+                                }
+                            }
+                        }
+                    }
+                    enqueued_counter.fetch_add(seq, Ordering::Relaxed);
+                    consumed_counter.fetch_add(consumed.len() as u64, Ordering::Relaxed);
+                    ThreadOutcome {
+                        enqueue_batches,
+                        dequeue_batches,
+                        fifo_ok,
+                        nulls,
+                        consumed,
+                    }
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut report = BatchRunReport {
+        batch_size: spec.batch_size,
+        elapsed,
+        fifo_ok: true,
+        no_duplicates: true,
+        enqueued: enqueued_counter.load(Ordering::Relaxed),
+        dequeued: consumed_counter.load(Ordering::Relaxed),
+        ..Default::default()
+    };
+    let mut all_consumed: Vec<u64> = Vec::new();
+    for o in outcomes {
+        report.enqueue_batches += o.enqueue_batches;
+        report.dequeue_batches += o.dequeue_batches;
+        report.fifo_ok &= o.fifo_ok;
+        report.null_responses += o.nulls;
+        all_consumed.extend(o.consumed);
+    }
+    let before = all_consumed.len();
+    all_consumed.sort_unstable();
+    all_consumed.dedup();
+    report.no_duplicates = all_consumed.len() == before;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +575,70 @@ mod tests {
         let r = run_workload(&q, &spec);
         assert_eq!(r.enqueue.count, 0);
         assert_eq!(r.dequeue_hit.count, 800, "prefill large enough: all hits");
+    }
+
+    #[test]
+    fn batch_workload_audits_pass_on_wf_variants() {
+        for batch_size in [1usize, 3, 16] {
+            let spec = BatchWorkloadSpec {
+                threads: 4,
+                batches_per_thread: 300,
+                batch_size,
+                enqueue_permille: 500,
+                prefill: 32,
+                seed: 0xBA7C,
+            };
+            let q = WfUnbounded::new(4);
+            let r = run_batch_workload(&q, &spec);
+            assert!(r.audits_ok(), "unbounded k={batch_size}: {r:?}");
+            assert_eq!(r.total_ops(), 4 * 300 * batch_size as u64);
+            wfqueue::unbounded::introspect::check_invariants(&q.0).unwrap();
+
+            let q = WfBounded::with_gc_period(4, 8);
+            let r = run_batch_workload(&q, &spec);
+            assert!(r.audits_ok(), "bounded k={batch_size}: {r:?}");
+            wfqueue::bounded::introspect::check_invariants(&q.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_workload_fallback_on_baselines() {
+        let spec = BatchWorkloadSpec {
+            threads: 3,
+            batches_per_thread: 200,
+            batch_size: 5,
+            enqueue_permille: 500,
+            prefill: 16,
+            seed: 9,
+        };
+        let r = run_batch_workload(&Ms::new(), &spec);
+        assert!(r.audits_ok());
+        let r = run_batch_workload(&CoarseMutex::new(), &spec);
+        assert!(r.audits_ok());
+    }
+
+    #[test]
+    fn batching_reduces_steps_per_enqueue() {
+        // Enqueue-only single thread: per-op steps must drop sharply with
+        // the batch size (one propagation per batch).
+        let steps_at = |k: usize| {
+            let q = WfUnbounded::new(1);
+            let spec = BatchWorkloadSpec {
+                threads: 1,
+                batches_per_thread: 2048 / k,
+                batch_size: k,
+                enqueue_permille: 1000,
+                prefill: 0,
+                seed: 5,
+            };
+            run_batch_workload(&q, &spec).steps_per_op()
+        };
+        let k1 = steps_at(1);
+        let k32 = steps_at(32);
+        assert!(
+            k32 * 4.0 < k1,
+            "expected ≫4× fewer steps/op at k=32: k1={k1:.1}, k32={k32:.1}"
+        );
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Records the E10-batch throughput sweep as BENCH_e10.json so the perf
+# trajectory accumulates across PRs. Run from the repo root:
+#
+#   scripts/bench_e10.sh            # writes ./BENCH_e10.json
+#   scripts/bench_e10.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e10.json}"
+
+cargo bench --bench e10_batch -- --json > "$out"
+echo "wrote $out:"
+head -n 6 "$out"
