@@ -23,4 +23,4 @@ pub mod stats;
 pub mod table;
 pub mod workload;
 
-pub use queue_api::{ConcurrentQueue, QueueHandle};
+pub use queue_api::{CapacityError, ConcurrentQueue, QueueHandle};

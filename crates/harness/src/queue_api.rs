@@ -1,7 +1,40 @@
-//! A uniform queue interface over the wait-free queue variants and all
-//! baselines, so workloads, checkers and experiments are written once.
+//! A uniform queue interface over the wait-free queue variants, the
+//! sharded frontend and all baselines, so workloads, checkers and
+//! experiments are written once.
+
+use std::fmt;
 
 use wfqueue_baselines::{MsQueue, MutexQueue, SegQueueAdapter, TwoLockQueue};
+use wfqueue_shard::{Shard, ShardedBounded, ShardedHandle, ShardedUnbounded};
+
+pub use wfqueue_shard::Routing;
+
+/// A queue could not supply the requested number of handles.
+///
+/// Returned by [`ConcurrentQueue::try_handles`] and the `try_` workload
+/// runners ([`crate::workload::try_run_workload`] and friends) — the
+/// panic-free counterpart of [`ConcurrentQueue::handle`]'s documented
+/// panic when `p` exceeds the queue's handle capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Handles that were requested.
+    pub requested: usize,
+    /// Handles the queue could actually supply.
+    pub available: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue handle capacity exhausted: requested {} handles, only {} available \
+             (create the queue with more processes)",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
 
 /// A shared multi-producer multi-consumer FIFO queue under test.
 ///
@@ -41,6 +74,32 @@ pub trait ConcurrentQueue<T>: Sync {
             Some(_) => std::iter::from_fn(|| self.try_handle()).collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Acquires exactly `n` handles, or a [`CapacityError`] reporting how
+    /// many were available — the panic-free bulk counterpart of calling
+    /// [`ConcurrentQueue::handle`] `n` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if fewer than `n` handles could be
+    /// acquired; handles already taken by this call are dropped (for the
+    /// capped wait-free queues their pids stay consumed, as with any
+    /// dropped handle).
+    fn try_handles(&self, n: usize) -> Result<Vec<Self::Handle<'_>>, CapacityError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.try_handle() {
+                Some(h) => out.push(h),
+                None => {
+                    return Err(CapacityError {
+                        requested: n,
+                        available: out.len(),
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Maximum number of handles, if bounded.
@@ -245,6 +304,113 @@ impl<T: Clone + Send + Sync> QueueHandle<T>
 }
 
 // ---------------------------------------------------------------------------
+// Sharded frontend adapters
+// ---------------------------------------------------------------------------
+
+/// Adapter for the sharded frontend over unbounded shards
+/// (`wfqueue_shard::ShardedUnbounded`).
+///
+/// For `S > 1` the composite is *not* one linearizable FIFO — it is FIFO
+/// per producer under `PerProducer`/`Rendezvous` routing (see the
+/// `wfqueue_shard` crate docs), which is exactly what the workload
+/// runners' per-producer audits check; run the Wing–Gong checker per shard.
+#[derive(Debug)]
+pub struct WfShardedUnbounded<T: Clone + Send + Sync>(pub ShardedUnbounded<T>);
+
+impl<T: Clone + Send + Sync> WfShardedUnbounded<T> {
+    /// Creates an adapter over `shards` unbounded shards with capacity for
+    /// `processes` composite handles.
+    #[must_use]
+    pub fn new(shards: usize, processes: usize, routing: Routing) -> Self {
+        WfShardedUnbounded(ShardedUnbounded::new(shards, processes, routing))
+    }
+}
+
+impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfShardedUnbounded<T> {
+    type Handle<'a>
+        = ShardedHandle<'a, wfqueue::unbounded::Queue<T>>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-sharded-unbounded"
+    }
+
+    fn try_handle(&self) -> Option<Self::Handle<'_>> {
+        self.0.try_handle()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.max_handles())
+    }
+}
+
+/// Adapter for the sharded frontend over bounded-space shards
+/// (`wfqueue_shard::ShardedBounded`, treap-backed). Same composite
+/// semantics as [`WfShardedUnbounded`].
+#[derive(Debug)]
+pub struct WfShardedBounded<T: Clone + Send + Sync>(pub ShardedBounded<T>);
+
+impl<T: Clone + Send + Sync> WfShardedBounded<T> {
+    /// Creates an adapter over `shards` bounded shards (paper-default GC
+    /// period) with capacity for `processes` composite handles.
+    #[must_use]
+    pub fn new(shards: usize, processes: usize, routing: Routing) -> Self {
+        WfShardedBounded(ShardedBounded::new(shards, processes, routing))
+    }
+
+    /// Like [`WfShardedBounded::new`] with an explicit per-shard GC period.
+    #[must_use]
+    pub fn with_gc_period(
+        shards: usize,
+        processes: usize,
+        gc_period: usize,
+        routing: Routing,
+    ) -> Self {
+        WfShardedBounded(ShardedBounded::with_gc_period(
+            shards, processes, gc_period, routing,
+        ))
+    }
+}
+
+impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfShardedBounded<T> {
+    type Handle<'a>
+        = ShardedHandle<'a, wfqueue::bounded::Queue<T>>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-sharded-bounded"
+    }
+
+    fn try_handle(&self) -> Option<Self::Handle<'_>> {
+        self.0.try_handle()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.max_handles())
+    }
+}
+
+impl<T, Q: Shard<Item = T>> QueueHandle<T> for ShardedHandle<'_, Q> {
+    fn enqueue(&mut self, value: T) {
+        ShardedHandle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        ShardedHandle::dequeue(self)
+    }
+
+    fn enqueue_batch(&mut self, values: Vec<T>) {
+        ShardedHandle::enqueue_batch(self, values);
+    }
+
+    fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        ShardedHandle::dequeue_batch(self, count)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Baseline adapters (handles are just shared references)
 // ---------------------------------------------------------------------------
 
@@ -325,6 +491,14 @@ mod tests {
         round_trip(&WfBounded::with_gc_period(2, 1));
         round_trip(&WfBoundedAvl::new(2));
         round_trip(&WfBoundedAvl::with_gc_period(2, 1));
+        for routing in [
+            Routing::PerProducer,
+            Routing::RoundRobin,
+            Routing::Rendezvous,
+        ] {
+            round_trip(&WfShardedUnbounded::new(2, 2, routing));
+            round_trip(&WfShardedBounded::with_gc_period(2, 2, 4, routing));
+        }
         round_trip(&Ms::new());
         round_trip(&TwoLock::new());
         round_trip(&CoarseMutex::new());
@@ -341,7 +515,35 @@ mod tests {
             ConcurrentQueue::<u64>::capacity(&WfBounded::<u64>::new(5)),
             Some(5)
         );
+        assert_eq!(
+            ConcurrentQueue::<u64>::capacity(&WfShardedUnbounded::<u64>::new(
+                4,
+                6,
+                Routing::PerProducer
+            )),
+            Some(6)
+        );
         assert_eq!(ConcurrentQueue::<u64>::capacity(&Ms::<u64>::new()), None);
+    }
+
+    #[test]
+    fn try_handles_reports_capacity_errors() {
+        let q = WfUnbounded::<u64>::new(3);
+        assert_eq!(q.try_handles(3).unwrap().len(), 3);
+        // All three pids are consumed by the (dropped) handles above.
+        assert_eq!(
+            q.try_handles(1).map(|_| ()),
+            Err(CapacityError {
+                requested: 1,
+                available: 0,
+            })
+        );
+
+        let q = WfShardedBounded::<u64>::new(2, 2, Routing::Rendezvous);
+        let err = q.try_handles(5).unwrap_err();
+        assert_eq!(err.requested, 5);
+        assert_eq!(err.available, 2);
+        assert!(err.to_string().contains("capacity exhausted"), "{err}");
     }
 
     #[test]
@@ -384,6 +586,8 @@ mod tests {
         batch_round_trip(&WfUnbounded::new(1));
         batch_round_trip(&WfBounded::with_gc_period(1, 2));
         batch_round_trip(&WfBoundedAvl::new(1));
+        batch_round_trip(&WfShardedUnbounded::new(2, 1, Routing::Rendezvous));
+        batch_round_trip(&WfShardedBounded::new(2, 1, Routing::PerProducer));
         batch_round_trip(&Ms::new());
         batch_round_trip(&TwoLock::new());
         batch_round_trip(&CoarseMutex::new());

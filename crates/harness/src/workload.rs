@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use crate::queue_api::{ConcurrentQueue, QueueHandle};
+use crate::queue_api::{CapacityError, ConcurrentQueue, QueueHandle};
 use crate::rng::SplitMix64;
 use crate::stats::OpClassStats;
 
@@ -132,8 +132,28 @@ fn untag(value: u64) -> (usize, u64) {
 ///
 /// Panics if the queue cannot hand out `spec.threads` handles (plus one for
 /// prefilling — the prefill reuses thread 0's handle, so `spec.threads`
-/// handles total).
+/// handles total). Use [`try_run_workload`] to get a [`CapacityError`]
+/// instead.
 pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> RunReport {
+    try_run_workload(queue, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Panic-free [`run_workload`]: propagates handle-acquisition failure as a
+/// [`CapacityError`] instead of panicking when `spec.threads` exceeds the
+/// queue's handle capacity.
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] if the queue cannot hand out `spec.threads`
+/// handles.
+///
+/// # Panics
+///
+/// Panics if `spec.threads` is zero.
+pub fn try_run_workload<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    spec: &WorkloadSpec,
+) -> Result<RunReport, CapacityError> {
     assert!(spec.threads > 0, "need at least one thread");
     let barrier = Barrier::new(spec.threads);
     let consumed_counter = AtomicU64::new(0);
@@ -147,7 +167,7 @@ pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> 
         consumed: Vec<u64>,
     }
 
-    let mut handles: Vec<Q::Handle<'_>> = (0..spec.threads).map(|_| queue.handle()).collect();
+    let mut handles: Vec<Q::Handle<'_>> = queue.try_handles(spec.threads)?;
 
     // Prefill through thread 0's handle with producer tag = threads (a
     // pseudo-producer that never produces again, so FIFO audits stay valid).
@@ -241,7 +261,7 @@ pub fn run_workload<Q: ConcurrentQueue<u64>>(queue: &Q, spec: &WorkloadSpec) -> 
     all_consumed.sort_unstable();
     all_consumed.dedup();
     report.no_duplicates = all_consumed.len() == before;
-    report
+    Ok(report)
 }
 
 // ---------------------------------------------------------------------------
@@ -360,12 +380,31 @@ impl BatchRunReport {
 ///
 /// # Panics
 ///
-/// Panics if the queue cannot hand out `spec.threads` handles or
+/// Panics if the queue cannot hand out `spec.threads` handles (use
+/// [`try_run_batch_workload`] for a [`CapacityError`] instead) or
 /// `spec.batch_size` is zero.
 pub fn run_batch_workload<Q: ConcurrentQueue<u64>>(
     queue: &Q,
     spec: &BatchWorkloadSpec,
 ) -> BatchRunReport {
+    try_run_batch_workload(queue, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Panic-free [`run_batch_workload`]: propagates handle-acquisition failure
+/// as a [`CapacityError`].
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] if the queue cannot hand out `spec.threads`
+/// handles.
+///
+/// # Panics
+///
+/// Panics if `spec.threads` or `spec.batch_size` is zero.
+pub fn try_run_batch_workload<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    spec: &BatchWorkloadSpec,
+) -> Result<BatchRunReport, CapacityError> {
     assert!(spec.threads > 0, "need at least one thread");
     assert!(spec.batch_size > 0, "batch_size must be at least 1");
     let barrier = Barrier::new(spec.threads);
@@ -380,7 +419,7 @@ pub fn run_batch_workload<Q: ConcurrentQueue<u64>>(
         consumed: Vec<u64>,
     }
 
-    let mut handles: Vec<Q::Handle<'_>> = (0..spec.threads).map(|_| queue.handle()).collect();
+    let mut handles: Vec<Q::Handle<'_>> = queue.try_handles(spec.threads)?;
 
     // Prefill through thread 0's handle with producer tag = threads (a
     // pseudo-producer that never produces again).
@@ -486,13 +525,13 @@ pub fn run_batch_workload<Q: ConcurrentQueue<u64>>(
     all_consumed.sort_unstable();
     all_consumed.dedup();
     report.no_duplicates = all_consumed.len() == before;
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue_api::{CoarseMutex, Ms, WfBounded, WfUnbounded};
+    use crate::queue_api::{CoarseMutex, Ms, Routing, WfBounded, WfShardedUnbounded, WfUnbounded};
 
     #[test]
     fn tags_round_trip() {
@@ -639,6 +678,65 @@ mod tests {
             k32 * 4.0 < k1,
             "expected ≫4× fewer steps/op at k=32: k1={k1:.1}, k32={k32:.1}"
         );
+    }
+
+    #[test]
+    fn try_runners_report_capacity_instead_of_panicking() {
+        let spec = WorkloadSpec {
+            threads: 4,
+            ops_per_thread: 10,
+            ..WorkloadSpec::default()
+        };
+        let q = WfUnbounded::new(2);
+        let err = try_run_workload(&q, &spec).unwrap_err();
+        assert_eq!((err.requested, err.available), (4, 2));
+
+        let spec = BatchWorkloadSpec {
+            threads: 3,
+            batches_per_thread: 5,
+            batch_size: 2,
+            ..BatchWorkloadSpec::default()
+        };
+        let q = WfShardedUnbounded::new(2, 1, Routing::Rendezvous);
+        let err = try_run_batch_workload(&q, &spec).unwrap_err();
+        assert_eq!((err.requested, err.available), (3, 1));
+    }
+
+    #[test]
+    fn mixed_run_audits_pass_on_sharded_composites() {
+        // Per-producer FIFO and no-duplication must hold on the composite
+        // for every FIFO-preserving routing policy and shard count.
+        for routing in [Routing::PerProducer, Routing::Rendezvous] {
+            for shards in [1usize, 2, 4] {
+                let q = WfShardedUnbounded::new(shards, 4, routing);
+                let spec = WorkloadSpec {
+                    threads: 4,
+                    ops_per_thread: 1_500,
+                    enqueue_permille: 550,
+                    prefill: 0,
+                    seed: 0x5AAD + shards as u64,
+                };
+                let r = run_workload(&q, &spec);
+                assert!(r.audits_ok(), "{routing:?} S={shards}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_workload_audits_pass_on_sharded_composites() {
+        for routing in [Routing::PerProducer, Routing::Rendezvous] {
+            let q = WfShardedUnbounded::new(2, 4, routing);
+            let spec = BatchWorkloadSpec {
+                threads: 4,
+                batches_per_thread: 200,
+                batch_size: 8,
+                enqueue_permille: 500,
+                prefill: 0,
+                seed: 0x5BB,
+            };
+            let r = run_batch_workload(&q, &spec);
+            assert!(r.audits_ok(), "{routing:?}: {r:?}");
+        }
     }
 
     #[test]

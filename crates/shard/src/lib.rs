@@ -1,0 +1,798 @@
+//! A sharded frontend over the wait-free ordering-tree queues.
+//!
+//! The Naderibeni–Ruppert queue has exactly one contention point: the root
+//! of the ordering tree, where every operation's propagation terminates in
+//! a CAS. [`ShardedQueue`] multiplies that root bandwidth by fanning
+//! operations out over `S` independent shards (each a full wait-free
+//! [`wfqueue::unbounded::Queue`] or [`wfqueue::bounded::Queue`]), while
+//! every shard keeps the paper's polylogarithmic wait-free guarantees
+//! intact. Routing is pluggable ([`Routing`]):
+//!
+//! * [`Routing::PerProducer`] — each handle pins to one shard for all of
+//!   its operations. Each shard's ordering tree is sized to the handles
+//!   that pin to it (`⌈p/S⌉` instead of `p`), so per-operation cost drops
+//!   from `O(log p)` to `O(log(p/S))` *and* root CASes spread over `S`
+//!   roots. This is the classic relaxed-queue contract: FIFO per producer,
+//!   no ordering across producers on different shards.
+//! * [`Routing::RoundRobin`] — a handle's enqueues rotate through the
+//!   shards (whole batches route to one shard); dequeues sweep. Best load
+//!   spread, but per-producer FIFO is **not** preserved across shards.
+//! * [`Routing::Rendezvous`] — enqueues pin per producer (so per-producer
+//!   FIFO holds), and dequeuers sweep all shards starting from a globally
+//!   rotating index, so concurrent dequeuers rendezvous with different
+//!   shards and no shard starves.
+//!
+//! What the composite is *not*: a single linearizable FIFO queue (for
+//! `S > 1`). Each shard individually is linearizable, a producer's values
+//! are consumed in order under `PerProducer`/`Rendezvous` routing, and a
+//! `ShardedQueue` with `S = 1` is observationally identical to its inner
+//! queue — but values of different producers on different shards may be
+//! consumed in either order, and a `None` response only witnesses that the
+//! swept shards were individually empty at some point during the sweep, not
+//! that the composite was ever globally empty. See `DESIGN.md` for the full
+//! semantics discussion.
+//!
+//! Per-shard handles are acquired lazily through each shard's capped
+//! `register()`, so a sharded handle consumes a pid only on the shards it
+//! actually touches: an enqueue-only `PerProducer` producer occupies one
+//! pid on one shard, a sweeping dequeuer occupies one pid per swept shard.
+//! Shard capacities are verified up front ([`Routing::shard_capacity`]), so
+//! lazy registration can never fail at operation time.
+//!
+//! Batches ([`ShardedHandle::enqueue_batch`] /
+//! [`ShardedHandle::dequeue_batch`]) route whole batches to one shard, so
+//! the one-leaf-block-per-batch amortization of the underlying queues
+//! composes with sharding: a batch still costs one `try_install` + one
+//! `Propagate` on its shard.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wfqueue::bounded;
+use wfqueue::unbounded;
+
+// ---------------------------------------------------------------------------
+// The shard abstraction
+// ---------------------------------------------------------------------------
+
+/// A queue that can serve as one shard of a [`ShardedQueue`]: it registers
+/// a bounded number of per-process handles and exposes the queue
+/// operations through them.
+///
+/// Implemented for both wait-free ordering-tree queues
+/// ([`wfqueue::unbounded::Queue`] and [`wfqueue::bounded::Queue`] with any
+/// block store).
+pub trait Shard: Sync {
+    /// Element type stored by the shard.
+    type Item;
+    /// The shard's per-process handle type.
+    type Handle<'a>: ShardHandle<Item = Self::Item> + Send
+    where
+        Self: 'a;
+
+    /// Acquires a handle, or `None` if the shard's handle capacity is
+    /// exhausted (mirrors the queues' capped `register()`).
+    fn register(&self) -> Option<Self::Handle<'_>>;
+
+    /// Maximum number of handles this shard can register.
+    fn capacity(&self) -> usize;
+
+    /// The shard's recent-past length snapshot (see
+    /// [`wfqueue::unbounded::Queue::approx_len`]).
+    fn approx_len(&self) -> usize;
+}
+
+/// A per-process handle to one [`Shard`].
+pub trait ShardHandle {
+    /// Element type stored by the shard.
+    type Item;
+
+    /// Appends `value` to the back of the shard.
+    fn enqueue(&mut self, value: Self::Item);
+    /// Removes and returns the shard's front value, or `None` if empty.
+    fn dequeue(&mut self) -> Option<Self::Item>;
+    /// Enqueues a whole batch as one leaf block.
+    fn enqueue_batch(&mut self, values: Vec<Self::Item>);
+    /// Performs `count` dequeues as one leaf block, returning the responses
+    /// in order.
+    fn dequeue_batch(&mut self, count: usize) -> Vec<Option<Self::Item>>;
+}
+
+impl<T: Clone + Send + Sync> Shard for unbounded::Queue<T> {
+    type Item = T;
+    type Handle<'a>
+        = unbounded::Handle<'a, T>
+    where
+        Self: 'a;
+
+    fn register(&self) -> Option<Self::Handle<'_>> {
+        unbounded::Queue::register(self)
+    }
+
+    fn capacity(&self) -> usize {
+        self.num_processes()
+    }
+
+    fn approx_len(&self) -> usize {
+        unbounded::Queue::approx_len(self)
+    }
+}
+
+impl<T: Clone + Send + Sync> ShardHandle for unbounded::Handle<'_, T> {
+    type Item = T;
+
+    fn enqueue(&mut self, value: T) {
+        unbounded::Handle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        unbounded::Handle::dequeue(self)
+    }
+
+    fn enqueue_batch(&mut self, values: Vec<T>) {
+        unbounded::Handle::enqueue_batch(self, values);
+    }
+
+    fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        unbounded::Handle::dequeue_batch(self, count)
+    }
+}
+
+impl<T: Clone + Send + Sync, F: bounded::StoreFamily> Shard for bounded::Queue<T, F> {
+    type Item = T;
+    type Handle<'a>
+        = bounded::Handle<'a, T, F>
+    where
+        Self: 'a;
+
+    fn register(&self) -> Option<Self::Handle<'_>> {
+        bounded::Queue::register(self)
+    }
+
+    fn capacity(&self) -> usize {
+        self.num_processes()
+    }
+
+    fn approx_len(&self) -> usize {
+        bounded::Queue::approx_len(self)
+    }
+}
+
+impl<T: Clone + Send + Sync, F: bounded::StoreFamily> ShardHandle for bounded::Handle<'_, T, F> {
+    type Item = T;
+
+    fn enqueue(&mut self, value: T) {
+        bounded::Handle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        bounded::Handle::dequeue(self)
+    }
+
+    fn enqueue_batch(&mut self, values: Vec<T>) {
+        bounded::Handle::enqueue_batch(self, values);
+    }
+
+    fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        bounded::Handle::dequeue_batch(self, count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// How a [`ShardedQueue`] routes operations to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Each handle pins to shard `index % S` for **all** of its operations.
+    ///
+    /// Per-producer FIFO holds (a producer's values live in one FIFO
+    /// shard), each shard's tree is sized to `⌈p/S⌉` handles instead of
+    /// `p`, and a handle's `dequeue() == None` witnesses that *its* shard
+    /// was empty. Values on other shards are not visible to this handle —
+    /// the sharded-lanes model of SPSC fan-out designs.
+    PerProducer,
+    /// Enqueues rotate through the shards one step per operation (one step
+    /// per *batch* for batch operations); dequeues sweep all shards from
+    /// the same rotating local cursor.
+    ///
+    /// Best load spread, but per-producer FIFO is **not** preserved: two
+    /// values of one producer land on different shards and may be consumed
+    /// in either order.
+    RoundRobin,
+    /// Enqueues pin per producer (shard `index % S`, so per-producer FIFO
+    /// holds); dequeues sweep all shards starting from a globally rotating
+    /// index, so concurrent dequeuers start at different shards and no
+    /// shard starves.
+    Rendezvous,
+}
+
+impl Routing {
+    /// The handle capacity shard `shard` must offer when a sharded queue
+    /// with `num_shards` shards hands out at most `max_handles` composite
+    /// handles under this routing policy.
+    ///
+    /// `PerProducer` pins handle `i` to shard `i % num_shards`, so a shard
+    /// only ever registers the handles pinned to it; the sweeping policies
+    /// may register every handle on every shard. Always at least 1 (a queue
+    /// cannot be built for zero processes).
+    #[must_use]
+    pub fn shard_capacity(self, max_handles: usize, num_shards: usize, shard: usize) -> usize {
+        let cap = match self {
+            Routing::PerProducer => {
+                max_handles / num_shards + usize::from(shard < max_handles % num_shards)
+            }
+            Routing::RoundRobin | Routing::Rendezvous => max_handles,
+        };
+        cap.max(1)
+    }
+
+    /// Whether this policy preserves per-producer FIFO order on the
+    /// composite (values of one producer are consumed in enqueue order).
+    #[must_use]
+    pub fn preserves_producer_fifo(self) -> bool {
+        !matches!(self, Routing::RoundRobin)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded queue
+// ---------------------------------------------------------------------------
+
+/// An order-preserving fan-out frontend over `S` independent wait-free
+/// queue shards. See the [crate docs](crate) for semantics and
+/// [`Routing`] for the routing policies.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_shard::{Routing, ShardedUnbounded};
+///
+/// // 2 shards, at most 4 composite handles, per-producer pinning.
+/// let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 4, Routing::PerProducer);
+/// let mut h = q.try_handle().unwrap();
+/// h.enqueue(7);
+/// assert_eq!(h.dequeue(), Some(7));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct ShardedQueue<Q: Shard> {
+    shards: Vec<Q>,
+    routing: Routing,
+    max_handles: usize,
+    next_handle: AtomicUsize,
+    /// Global rotating sweep-start ticket for [`Routing::Rendezvous`].
+    rendezvous: AtomicUsize,
+}
+
+/// A [`ShardedQueue`] over unbounded-space shards.
+pub type ShardedUnbounded<T> = ShardedQueue<unbounded::Queue<T>>;
+
+/// A [`ShardedQueue`] over bounded-space shards (treap-backed by default).
+pub type ShardedBounded<T, F = bounded::TreapBacked> = ShardedQueue<bounded::Queue<T, F>>;
+
+impl<Q: Shard> ShardedQueue<Q> {
+    /// Builds a sharded queue from `num_shards` shards produced by `make`,
+    /// which receives each shard's required handle capacity
+    /// ([`Routing::shard_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero, or if a produced
+    /// shard reports less capacity than required.
+    pub fn build(
+        num_shards: usize,
+        max_handles: usize,
+        routing: Routing,
+        mut make: impl FnMut(usize) -> Q,
+    ) -> Self {
+        let shards = (0..num_shards)
+            .map(|s| make(routing.shard_capacity(max_handles, num_shards, s)))
+            .collect();
+        Self::with_shards(shards, max_handles, routing)
+    }
+
+    /// Builds a sharded queue over caller-constructed shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty, `max_handles` is zero, or any shard's
+    /// [`Shard::capacity`] is below [`Routing::shard_capacity`] — the
+    /// up-front check is what lets per-shard handles register lazily
+    /// without a failure path at operation time.
+    pub fn with_shards(shards: Vec<Q>, max_handles: usize, routing: Routing) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(max_handles > 0, "need at least one handle");
+        for (s, shard) in shards.iter().enumerate() {
+            let need = routing.shard_capacity(max_handles, shards.len(), s);
+            assert!(
+                shard.capacity() >= need,
+                "shard {s} has capacity {} but {routing:?} routing with {max_handles} \
+                 handles requires {need}",
+                shard.capacity(),
+            );
+        }
+        ShardedQueue {
+            shards,
+            routing,
+            max_handles,
+            next_handle: AtomicUsize::new(0),
+            rendezvous: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum number of composite handles this queue hands out.
+    #[must_use]
+    pub fn max_handles(&self) -> usize {
+        self.max_handles
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// The underlying shards (for introspection and per-shard invariant
+    /// checks).
+    #[must_use]
+    pub fn shards(&self) -> &[Q] {
+        &self.shards
+    }
+
+    /// Sum of the shards' recent-past length snapshots. Like the per-shard
+    /// [`Shard::approx_len`] this is exact at quiescence; concurrently it
+    /// combines per-shard snapshots taken at slightly different instants.
+    #[must_use]
+    pub fn approx_len(&self) -> usize {
+        self.shards.iter().map(Shard::approx_len).sum()
+    }
+
+    /// Acquires the next composite handle, or `None` if all `max_handles`
+    /// have been taken. Same capped CEX loop as the underlying queues'
+    /// `register()`: exhaustion never over-advances the counter.
+    pub fn try_handle(&self) -> Option<ShardedHandle<'_, Q>> {
+        let mut index = self.next_handle.load(Ordering::Relaxed);
+        loop {
+            if index >= self.max_handles {
+                return None;
+            }
+            match self.next_handle.compare_exchange_weak(
+                index,
+                index + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let num_shards = self.num_shards();
+                    return Some(ShardedHandle {
+                        queue: self,
+                        index,
+                        inner: (0..num_shards).map(|_| None).collect(),
+                        cursor: index % num_shards,
+                    });
+                }
+                Err(current) => index = current,
+            }
+        }
+    }
+
+    /// All remaining composite handles (convenient with scoped threads).
+    pub fn handles(&self) -> Vec<ShardedHandle<'_, Q>> {
+        std::iter::from_fn(|| self.try_handle()).collect()
+    }
+}
+
+impl<T: Clone + Send + Sync> ShardedUnbounded<T> {
+    /// Creates a sharded queue over `num_shards` unbounded shards, capped
+    /// at `max_handles` composite handles.
+    ///
+    /// Each shard is sized to [`Routing::shard_capacity`]; under
+    /// [`Routing::PerProducer`] that is `⌈max_handles/num_shards⌉`, so the
+    /// per-shard trees are shallower than a single queue's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero.
+    #[must_use]
+    pub fn new(num_shards: usize, max_handles: usize, routing: Routing) -> Self {
+        Self::build(num_shards, max_handles, routing, unbounded::Queue::new)
+    }
+}
+
+impl<T: Clone + Send + Sync, F: bounded::StoreFamily> ShardedBounded<T, F> {
+    /// Creates a sharded queue over `num_shards` bounded-space shards with
+    /// the paper's default GC period, capped at `max_handles` composite
+    /// handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero.
+    #[must_use]
+    pub fn new(num_shards: usize, max_handles: usize, routing: Routing) -> Self {
+        Self::build(num_shards, max_handles, routing, bounded::Queue::new)
+    }
+
+    /// Like [`ShardedBounded::new`] with an explicit per-shard GC period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero.
+    #[must_use]
+    pub fn with_gc_period(
+        num_shards: usize,
+        max_handles: usize,
+        gc_period: usize,
+        routing: Routing,
+    ) -> Self {
+        Self::build(num_shards, max_handles, routing, |cap| {
+            bounded::Queue::with_gc_period(cap, gc_period)
+        })
+    }
+}
+
+impl<Q: Shard> fmt::Debug for ShardedQueue<Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedQueue")
+            .field("num_shards", &self.num_shards())
+            .field("routing", &self.routing)
+            .field("max_handles", &self.max_handles)
+            .field("handles_taken", &self.next_handle.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The composite handle
+// ---------------------------------------------------------------------------
+
+/// A per-process handle to a [`ShardedQueue`].
+///
+/// Per-shard handles are acquired lazily on first touch through each
+/// shard's capped `register()` — an enqueue-only `PerProducer` handle
+/// consumes exactly one pid on exactly one shard. Capacity was verified at
+/// construction, so lazy registration cannot fail.
+pub struct ShardedHandle<'q, Q: Shard> {
+    queue: &'q ShardedQueue<Q>,
+    index: usize,
+    /// Lazily-registered per-shard handles, indexed by shard.
+    inner: Vec<Option<Q::Handle<'q>>>,
+    /// Local rotation cursor ([`Routing::RoundRobin`]).
+    cursor: usize,
+}
+
+impl<'q, Q: Shard> ShardedHandle<'q, Q> {
+    /// This handle's composite index (`0..max_handles`).
+    #[must_use]
+    pub fn handle_index(&self) -> usize {
+        self.index
+    }
+
+    /// The sharded queue this handle belongs to.
+    #[must_use]
+    pub fn queue(&self) -> &'q ShardedQueue<Q> {
+        self.queue
+    }
+
+    /// The shard this handle pins to under pinning policies.
+    fn pin(&self) -> usize {
+        self.index % self.queue.num_shards()
+    }
+
+    /// Lazily registers on shard `s` and returns its handle.
+    fn shard(&mut self, s: usize) -> &mut Q::Handle<'q> {
+        if self.inner[s].is_none() {
+            let handle = self.queue.shards[s]
+                .register()
+                .expect("shard capacity was verified at construction");
+            self.inner[s] = Some(handle);
+        }
+        self.inner[s].as_mut().expect("just registered")
+    }
+
+    /// Shard receiving this handle's next enqueue (or enqueue batch).
+    fn enqueue_shard(&mut self) -> usize {
+        match self.queue.routing {
+            Routing::PerProducer | Routing::Rendezvous => self.pin(),
+            Routing::RoundRobin => self.advance_cursor(),
+        }
+    }
+
+    /// `(start, length)` of this handle's next dequeue sweep.
+    fn sweep(&mut self) -> (usize, usize) {
+        let num_shards = self.queue.num_shards();
+        match self.queue.routing {
+            Routing::PerProducer => (self.pin(), 1),
+            Routing::RoundRobin => (self.advance_cursor(), num_shards),
+            Routing::Rendezvous => {
+                // One shared fetch_add per sweep; approximate the
+                // (uninstrumented) wait-free RMW as a load + store in the
+                // step-count model.
+                wfqueue_metrics::record_shared_load();
+                wfqueue_metrics::record_shared_store();
+                let ticket = self.queue.rendezvous.fetch_add(1, Ordering::Relaxed);
+                (ticket % num_shards, num_shards)
+            }
+        }
+    }
+
+    fn advance_cursor(&mut self) -> usize {
+        let s = self.cursor;
+        self.cursor = (self.cursor + 1) % self.queue.num_shards();
+        s
+    }
+
+    /// Appends `value` to the shard selected by the routing policy.
+    pub fn enqueue(&mut self, value: Q::Item) {
+        let s = self.enqueue_shard();
+        self.shard(s).enqueue(value);
+    }
+
+    /// Dequeues from the shards of this handle's sweep, returning the first
+    /// value found.
+    ///
+    /// `None` means every swept shard was individually empty at its
+    /// dequeue's linearization point — under [`Routing::PerProducer`] that
+    /// is exactly "this handle's shard was empty"; under the sweeping
+    /// policies it is *not* a witness that the composite was ever globally
+    /// empty (another shard may have held values while an earlier one was
+    /// probed).
+    #[must_use = "a dequeued value should be used (None means the swept shards were empty)"]
+    pub fn dequeue(&mut self) -> Option<Q::Item> {
+        let (start, len) = self.sweep();
+        let num_shards = self.queue.num_shards();
+        for k in 0..len {
+            let s = (start + k) % num_shards;
+            if let Some(value) = self.shard(s).dequeue() {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Enqueues the whole batch on **one** shard selected by the routing
+    /// policy (one rotation step per batch under [`Routing::RoundRobin`]),
+    /// so the underlying one-leaf-block-per-batch amortization composes
+    /// with sharding. An empty batch is a no-op.
+    pub fn enqueue_batch(&mut self, values: impl IntoIterator<Item = Q::Item>) {
+        let values: Vec<Q::Item> = values.into_iter().collect();
+        if values.is_empty() {
+            return;
+        }
+        let s = self.enqueue_shard();
+        self.shard(s).enqueue_batch(values);
+    }
+
+    /// Performs `count` dequeues, sweeping the shards of this handle's
+    /// sweep with **one native batch per swept shard** (so each touched
+    /// shard pays one leaf block + one propagation). Values are returned in
+    /// consumption order; the vec is padded with `None` to length `count`
+    /// once the sweep is exhausted.
+    #[must_use = "dequeued values should be used (None entries mean the swept shards were empty)"]
+    pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<Q::Item>> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let (start, len) = self.sweep();
+        let num_shards = self.queue.num_shards();
+        let mut out: Vec<Option<Q::Item>> = Vec::with_capacity(count);
+        for k in 0..len {
+            if out.len() == count {
+                break;
+            }
+            let s = (start + k) % num_shards;
+            let responses = self.shard(s).dequeue_batch(count - out.len());
+            // A batch's dequeues are contiguous in its shard's
+            // linearization, so responses are a Some-prefix followed by
+            // Nones; keep only the values and let the next shard of the
+            // sweep serve the remainder.
+            out.extend(responses.into_iter().flatten().map(Some));
+        }
+        out.resize_with(count, || None);
+        out
+    }
+
+    /// Dequeues (sweeping per the routing policy) until a sweep comes back
+    /// empty, yielding each value. Lazy, like the underlying queues'
+    /// `drain`.
+    pub fn drain<'a>(&'a mut self) -> impl Iterator<Item = Q::Item> + use<'a, 'q, Q> {
+        std::iter::from_fn(move || self.dequeue())
+    }
+}
+
+impl<Q: Shard> fmt::Debug for ShardedHandle<'_, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let touched: Vec<usize> = self
+            .inner
+            .iter()
+            .enumerate()
+            .filter_map(|(s, h)| h.is_some().then_some(s))
+            .collect();
+        f.debug_struct("ShardedHandle")
+            .field("index", &self.index)
+            .field("routing", &self.queue.routing)
+            .field("touched_shards", &touched)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_capacity_per_policy() {
+        // 8 handles over 3 shards: pinned counts 3, 3, 2.
+        assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 0), 3);
+        assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 1), 3);
+        assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 2), 2);
+        // Sweeping policies may register every handle everywhere.
+        assert_eq!(Routing::Rendezvous.shard_capacity(8, 3, 2), 8);
+        assert_eq!(Routing::RoundRobin.shard_capacity(8, 3, 0), 8);
+        // Never zero, even for shards no handle pins to.
+        assert_eq!(Routing::PerProducer.shard_capacity(2, 4, 3), 1);
+    }
+
+    #[test]
+    fn round_trip_all_policies_unbounded() {
+        for routing in [
+            Routing::PerProducer,
+            Routing::RoundRobin,
+            Routing::Rendezvous,
+        ] {
+            for shards in [1usize, 2, 3] {
+                let q: ShardedUnbounded<u64> = ShardedUnbounded::new(shards, 2, routing);
+                let mut h = q.try_handle().unwrap();
+                for v in 0..10 {
+                    h.enqueue(v);
+                }
+                // A single handle sweeping (or pinned) sees its own values
+                // in per-producer FIFO order under every policy: one
+                // producer, and each shard is FIFO.
+                let got: Vec<u64> = h.drain().collect();
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..10).collect::<Vec<_>>(),
+                    "{routing:?} S={shards}"
+                );
+                if routing.preserves_producer_fifo() && shards == 1 {
+                    assert_eq!(got, (0..10).collect::<Vec<_>>());
+                }
+                assert_eq!(h.dequeue(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_bounded_shards() {
+        let q: ShardedBounded<u64> = ShardedBounded::with_gc_period(2, 2, 4, Routing::Rendezvous);
+        let mut h = q.try_handle().unwrap();
+        h.enqueue_batch(vec![1, 2, 3]);
+        let got: Vec<u64> = h.drain().collect();
+        assert_eq!(got, vec![1, 2, 3], "one producer pinned to one shard");
+        assert_eq!(q.approx_len(), 0);
+    }
+
+    #[test]
+    fn per_producer_pins_and_registers_one_shard() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(4, 4, Routing::PerProducer);
+        let mut handles = q.handles();
+        assert_eq!(handles.len(), 4);
+        for (i, h) in handles.iter_mut().enumerate() {
+            h.enqueue(i as u64);
+        }
+        // Each shard got exactly one producer's value.
+        for (s, shard) in q.shards().iter().enumerate() {
+            assert_eq!(shard.approx_len(), 1, "shard {s}");
+        }
+        // Each handle dequeues its own shard only.
+        for (i, h) in handles.iter_mut().enumerate() {
+            assert_eq!(h.dequeue(), Some(i as u64));
+            assert_eq!(h.dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn rendezvous_sweep_reaches_every_shard() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(3, 3, Routing::Rendezvous);
+        let mut handles = q.handles();
+        // Three pinned producers fill three different shards...
+        for (i, h) in handles.iter_mut().enumerate() {
+            h.enqueue(i as u64);
+        }
+        // ...and a single sweeping consumer finds all three values.
+        let mut got: Vec<u64> = handles[0].drain().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_sprays_enqueues() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(3, 1, Routing::RoundRobin);
+        let mut h = q.try_handle().unwrap();
+        for v in 0..6 {
+            h.enqueue(v);
+        }
+        for shard in q.shards() {
+            assert_eq!(shard.approx_len(), 2);
+        }
+        let mut got: Vec<u64> = h.drain().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_route_whole_batches_to_one_shard() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 1, Routing::RoundRobin);
+        let mut h = q.try_handle().unwrap();
+        h.enqueue_batch(vec![1, 2, 3]); // shard 0 (cursor 0)
+        h.enqueue_batch(vec![4, 5]); // shard 1
+        assert_eq!(q.shards()[0].approx_len(), 3);
+        assert_eq!(q.shards()[1].approx_len(), 2);
+        // A sweeping batch dequeue drains shard by shard, in shard FIFO
+        // order, padding with None once everything is consumed.
+        assert_eq!(
+            h.dequeue_batch(6),
+            vec![Some(1), Some(2), Some(3), Some(4), Some(5), None]
+        );
+        h.enqueue_batch(Vec::new()); // no-op, does not advance the cursor
+        assert_eq!(q.approx_len(), 0);
+    }
+
+    #[test]
+    fn handle_capacity_is_capped() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 3, Routing::Rendezvous);
+        let handles = q.handles();
+        assert_eq!(handles.len(), 3);
+        assert!(q.try_handle().is_none());
+        assert!(q.try_handle().is_none(), "exhaustion is stable");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn under_capacity_shards_are_rejected_up_front() {
+        // 2 handles sweeping over shards of capacity 1: rejected at
+        // construction, not at first lazy registration.
+        let shards = vec![unbounded::Queue::<u64>::new(1), unbounded::Queue::new(1)];
+        let _ = ShardedQueue::with_shards(shards, 2, Routing::Rendezvous);
+    }
+
+    #[test]
+    fn with_shards_accepts_exactly_sized_pinned_shards() {
+        let shards = vec![unbounded::Queue::<u64>::new(2), unbounded::Queue::new(1)];
+        let q = ShardedQueue::with_shards(shards, 3, Routing::PerProducer);
+        let mut handles = q.handles();
+        assert_eq!(handles.len(), 3);
+        for h in &mut handles {
+            h.enqueue(h.handle_index() as u64);
+        }
+        assert_eq!(q.approx_len(), 3);
+    }
+
+    #[test]
+    fn s1_behaves_like_inner_queue() {
+        for routing in [
+            Routing::PerProducer,
+            Routing::RoundRobin,
+            Routing::Rendezvous,
+        ] {
+            let q: ShardedUnbounded<u64> = ShardedUnbounded::new(1, 2, routing);
+            let mut h = q.try_handle().unwrap();
+            h.enqueue(1);
+            h.enqueue_batch(vec![2, 3]);
+            assert_eq!(h.dequeue(), Some(1));
+            assert_eq!(h.dequeue_batch(3), vec![Some(2), Some(3), None]);
+            assert_eq!(h.dequeue(), None);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Records the E11-shard throughput sweep as BENCH_e11.json so the perf
+# trajectory accumulates across PRs. Run from the repo root:
+#
+#   scripts/bench_e11.sh            # writes ./BENCH_e11.json
+#   scripts/bench_e11.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e11.json}"
+
+cargo bench --bench e11_shard -- --json > "$out"
+echo "wrote $out:"
+head -n 6 "$out"

@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "cas_retry_problem",
     "ordering_tree_walkthrough",
     "quickstart",
+    "sharded_pipeline",
     "space_bounded_gc",
     "task_scheduler",
     "wait_free_vector",

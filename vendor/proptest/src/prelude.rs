@@ -1,5 +1,5 @@
 //! The usual `use proptest::prelude::*;` import surface.
 
 pub use crate::strategy::{any, Arbitrary, Just, Strategy};
-pub use crate::test_runner::ProptestConfig;
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
 pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

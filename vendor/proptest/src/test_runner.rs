@@ -8,19 +8,37 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Resolves a block's case count against a raw `PROPTEST_CASES` override
+/// (unset or unparseable values fall back to the explicit count). Split
+/// from the env read so it is testable without mutating the process
+/// environment (a data race under the parallel test runner).
+fn resolve_cases(explicit: u32, env_override: Option<&str>) -> u32 {
+    env_override
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(explicit)
+}
+
 impl ProptestConfig {
     /// A config that runs `cases` successful cases.
+    ///
+    /// One deliberate divergence from the real crate: a `PROPTEST_CASES`
+    /// environment variable overrides **every** block's case count, not
+    /// just the default config — this is the single knob CI's scheduled
+    /// stress job turns to run the whole property suite at 10× depth.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: resolve_cases(cases, std::env::var("PROPTEST_CASES").ok().as_deref()),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     /// 64 cases (the real crate defaults to 256; the shim trades a smaller
-    /// default for suite runtime — override per-block where more is wanted).
+    /// default for suite runtime — override per-block where more is
+    /// wanted, or globally via `PROPTEST_CASES`).
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        Self::with_cases(64)
     }
 }
 
@@ -72,6 +90,24 @@ impl TestRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn proptest_cases_override_beats_every_explicit_count() {
+        // The resolution policy, tested without touching the process
+        // environment (set_var would race sibling test threads).
+        assert_eq!(resolve_cases(24, Some("640")), 640);
+        assert_eq!(resolve_cases(64, Some(" 640\n")), 640, "whitespace ok");
+        assert_eq!(
+            resolve_cases(24, Some("not-a-number")),
+            24,
+            "unparseable: ignored"
+        );
+        assert_eq!(resolve_cases(24, None), 24);
+        // The shim default is 64 cases — unless the suite itself is
+        // running under a PROPTEST_CASES override, which must win.
+        let expected = resolve_cases(64, std::env::var("PROPTEST_CASES").ok().as_deref());
+        assert_eq!(ProptestConfig::default().cases, expected);
+    }
 
     #[test]
     fn deterministic_sequences() {
