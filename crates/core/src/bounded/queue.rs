@@ -419,6 +419,16 @@ impl<'q, T: Clone + Send + Sync, F: StoreFamily> Handle<'q, T, F> {
     /// Performs `count` dequeues as one atomic batch, returning the
     /// responses in batch order; see
     /// [`crate::unbounded::Handle::dequeue_batch`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::with_gc_period(1, 2);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(7);
+    /// // Batch responses survive the GC phases the small period forces.
+    /// assert_eq!(h.dequeue_batch(2), vec![Some(7), None]);
+    /// ```
     #[must_use = "dequeued values should be used (None entries mean the queue was empty)"]
     pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
         self.queue.dequeue_batch(self.pid, count)

@@ -32,6 +32,7 @@ pub fn compare_front_search<T>(queue: &Queue<T>) -> Option<SearchComparison>
 where
     T: Clone + Send + Sync,
 {
+    let _guard = queue.read_guard();
     let root = queue.topology().root();
     let node = queue.node(root);
     let b = node.head() - 1;
@@ -45,11 +46,14 @@ where
     // Rank (among all enqueues) of the element at the front of the queue.
     let e = last.sumenq - last.size + 1;
 
-    let (be_doubling, doubling) = metrics::measure(|| queue.search_root_enqueue_block(b, e));
+    let (be_doubling, doubling) =
+        metrics::measure(|| queue.search_root_enqueue_block(b, e, node.boundary()));
 
     let (be_full, full) = metrics::measure(|| {
-        // Plain lower-bound binary search over the whole history [1, b].
-        let (mut lo, mut hi) = (1usize, b);
+        // Plain lower-bound binary search over the whole retained history
+        // (the truncation boundary plays the dummy's role; it is 0 — the
+        // paper's search — on a queue that never reclaims).
+        let (mut lo, mut hi) = (node.boundary() + 1, b);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             if node

@@ -37,8 +37,16 @@ pub(crate) struct Block<T> {
     /// Approximate index of this block's superblock in the parent's
     /// `blocks` array; off by at most one (Lemma 12). `NIL` until set.
     sup: AtomicUsize,
+    /// Whether this block is a *summary sentinel* installed by epoch-based
+    /// tree truncation ([`crate::unbounded::ReclaimPolicy`]): it carries the
+    /// scalar fields of the block it replaced (so prefix-sum and interval
+    /// arithmetic against it is unchanged) but no elements — everything it
+    /// summarises is dead. The dummy at index 0 is morally the initial
+    /// summary of the empty prefix, but keeps `summary == false` so
+    /// truncation-free queues are bit-identical to the paper's.
+    pub summary: bool,
     /// Enqueued values for a leaf enqueue batch, in enqueue order; empty for
-    /// dequeue batches, internal blocks and the dummy.
+    /// dequeue batches, internal blocks, summaries and the dummy.
     pub elements: Vec<T>,
 }
 
@@ -53,6 +61,7 @@ impl<T> Block<T> {
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
+            summary: false,
             elements: Vec::new(),
         }
     }
@@ -77,6 +86,7 @@ impl<T> Block<T> {
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
+            summary: false,
             elements,
         }
     }
@@ -100,6 +110,7 @@ impl<T> Block<T> {
             endright: 0,
             size: 0,
             sup: AtomicUsize::new(NIL),
+            summary: false,
             elements: Vec::new(),
         }
     }
@@ -120,6 +131,31 @@ impl<T> Block<T> {
             endright,
             size,
             sup: AtomicUsize::new(NIL),
+            summary: false,
+            elements: Vec::new(),
+        }
+    }
+
+    /// A summary sentinel standing in for `original` after tree truncation:
+    /// identical scalar fields (prefix sums, interval ends, root `size` and
+    /// the already-written `super` hint) with the payload dropped.
+    ///
+    /// Installed only by the single truncator thread, in place of a block
+    /// whose operations are all dead (already dequeued and no in-flight
+    /// operation indexed at or below it), so the elements can never be asked
+    /// for again; the scalars keep every prefix-sum and interval computation
+    /// against the truncation boundary exact.
+    pub fn summary_of(original: &Block<T>) -> Self {
+        Block {
+            sumenq: original.sumenq,
+            sumdeq: original.sumdeq,
+            endleft: original.endleft,
+            endright: original.endright,
+            size: original.size,
+            // Copy the raw value rather than going through `sup()`: this is
+            // maintenance bookkeeping, not an algorithm step.
+            sup: AtomicUsize::new(original.sup.load(Ordering::SeqCst)),
+            summary: true,
             elements: Vec::new(),
         }
     }
@@ -152,9 +188,9 @@ impl<T> Block<T> {
     }
 
     /// Whether this leaf block represents a dequeue batch (non-dummy, no
-    /// elements).
+    /// elements, not a truncation summary).
     pub fn is_leaf_dequeue(&self) -> bool {
-        self.elements.is_empty() && self.sumdeq > 0
+        !self.summary && self.elements.is_empty() && self.sumdeq > 0
     }
 }
 
@@ -208,6 +244,29 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_dequeue_batch_panics() {
         let _ = Block::<u8>::leaf_dequeue_batch(0, 0, 0);
+    }
+
+    #[test]
+    fn summary_copies_scalars_and_drops_elements() {
+        let original = Block::leaf_enqueue_batch(vec!["a", "b"], 4, 7);
+        original.try_set_sup(9);
+        let s = Block::summary_of(&original);
+        assert_eq!(
+            (s.sumenq, s.sumdeq, s.endleft, s.endright, s.size),
+            (6, 7, 0, 0, 0)
+        );
+        assert_eq!(s.sup(), Some(9), "already-written super hint survives");
+        assert!(s.elements.is_empty());
+        assert!(s.summary);
+        assert!(
+            !s.is_leaf_dequeue(),
+            "a summary of an enqueue leaf must not read as a dequeue batch"
+        );
+
+        let unset: Block<&str> = Block::internal(1, 2, 3, 4, 5);
+        let s2 = Block::summary_of(&unset);
+        assert_eq!(s2.sup(), None, "unset super stays unset");
+        assert_eq!((s2.endleft, s2.endright, s2.size), (3, 4, 5));
     }
 
     #[test]

@@ -18,6 +18,10 @@ use super::queue::Queue;
 pub struct BlockInfo {
     /// Position in the node's `blocks` array.
     pub index: usize,
+    /// Whether this is a truncation summary sentinel (scalar fields of the
+    /// block it replaced, payload dropped). Always `false` on queues that
+    /// never reclaim.
+    pub summary: bool,
     /// Prefix count of enqueues (Invariant 7).
     pub sumenq: usize,
     /// Prefix count of dequeues (Invariant 7).
@@ -48,7 +52,11 @@ pub struct NodeInfo {
     pub is_root: bool,
     /// Current `head` value.
     pub head: usize,
-    /// Installed blocks `0..` (dense prefix; may include `blocks[head]`).
+    /// Truncation boundary: index of the first retained block (0, the
+    /// dummy, unless epoch-based reclamation has truncated a prefix).
+    pub boundary: usize,
+    /// Installed blocks `boundary..` (dense prefix; may include
+    /// `blocks[head]`).
     pub blocks: Vec<BlockInfo>,
 }
 
@@ -66,18 +74,21 @@ pub fn dump<T>(queue: &Queue<T>) -> Vec<NodeInfo>
 where
     T: Clone + Send + Sync + fmt::Debug,
 {
+    let _guard = queue.read_guard();
     let topo = *queue.topology();
     (1..topo.len())
         .map(|v| {
             let node = queue.node(v);
             let head = node.head();
+            let boundary = node.boundary();
             let mut blocks = Vec::new();
-            let mut i = 0;
+            let mut i = boundary;
             let mut prev_sumdeq = 0;
             while let Some(b) = node.block(i) {
-                let is_deq = topo.is_leaf(v) && i > 0 && b.is_leaf_dequeue();
+                let is_deq = topo.is_leaf(v) && i > boundary && b.is_leaf_dequeue();
                 blocks.push(BlockInfo {
                     index: i,
+                    summary: b.summary,
                     sumenq: b.sumenq,
                     sumdeq: b.sumdeq,
                     endleft: b.endleft,
@@ -95,6 +106,7 @@ where
                 is_leaf: topo.is_leaf(v),
                 is_root: v == topo.root(),
                 head,
+                boundary,
                 blocks,
             }
         })
@@ -115,12 +127,19 @@ pub fn render(nodes: &[NodeInfo]) -> String {
         };
         let depth = usize::BITS as usize - 1 - n.position.leading_zeros() as usize;
         let indent = "  ".repeat(depth);
-        let _ = writeln!(out, "{indent}node {} ({kind}), head={}", n.position, n.head);
+        let _ = write!(out, "{indent}node {} ({kind}), head={}", n.position, n.head);
+        if n.boundary > 0 {
+            let _ = write!(out, ", truncated below {}", n.boundary);
+        }
+        let _ = writeln!(out);
         for b in &n.blocks {
             let _ = write!(
                 out,
-                "{indent}  [{}] sumenq={} sumdeq={}",
-                b.index, b.sumenq, b.sumdeq
+                "{indent}  [{}]{} sumenq={} sumdeq={}",
+                b.index,
+                if b.summary { " (summary)" } else { "" },
+                b.sumenq,
+                b.sumdeq
             );
             if !n.is_leaf {
                 let _ = write!(out, " endleft={} endright={}", b.endleft, b.endright);
@@ -146,14 +165,24 @@ pub fn render(nodes: &[NodeInfo]) -> String {
 
 /// Reconstructs the linearization `L` (equation 3.2): for each root block,
 /// its enqueue sequence `E(B)` followed by its dequeues `D(B)`.
+///
+/// On a reclamation-enabled queue this is the linearization's *retained
+/// suffix*: root blocks at or below the truncation boundary are gone, so
+/// `L` starts right after the boundary summary. Note that [`replay`]ing a
+/// truncated suffix from the empty state is only exact if the truncation
+/// cut at a point where the queue was empty (retained dequeues may have
+/// consumed truncated enqueues); the suffix is always valid for *structural*
+/// inspection, and the root blocks' `size` fields (which survive truncation
+/// via the summary) remain the authoritative length accounting.
 pub fn linearization<T>(queue: &Queue<T>) -> Vec<LinOp<T>>
 where
     T: Clone + Send + Sync,
 {
+    let _guard = queue.read_guard();
     let topo = *queue.topology();
     let root = topo.root();
     let mut out = Vec::new();
-    let mut b = 1;
+    let mut b = queue.node(root).boundary() + 1;
     while queue.node(root).block(b).is_some() {
         let (enqs, deqs) = block_ops(queue, root, b);
         out.extend(enqs.into_iter().map(LinOp::Enqueue));
@@ -223,14 +252,33 @@ pub fn check_invariants<T>(queue: &Queue<T>) -> Result<(), String>
 where
     T: Clone + Send + Sync,
 {
+    let _epoch_guard = queue.read_guard();
     let topo = *queue.topology();
     for v in 1..topo.len() {
         let node = queue.node(v);
         let head = node.head();
-        // Invariant 3: blocks[0..head) installed; nothing beyond head.
-        for i in 0..head {
+        let boundary = node.boundary();
+        if boundary >= head {
+            return Err(format!(
+                "node {v}: truncation boundary {boundary} at or above head {head}"
+            ));
+        }
+        // Invariant 3, truncation-adjusted: blocks[boundary..head) installed
+        // (the prefix below the boundary has been reclaimed); nothing beyond
+        // head.
+        for i in boundary..head {
             if node.block(i).is_none() {
-                return Err(format!("node {v}: hole at {i} below head {head}"));
+                return Err(format!(
+                    "node {v}: hole at {i} between boundary {boundary} and head {head}"
+                ));
+            }
+        }
+        if boundary > 0 {
+            let base = node.block(boundary).expect("checked installed above");
+            if !base.summary {
+                return Err(format!(
+                    "node {v}: boundary block {boundary} is not a summary sentinel"
+                ));
             }
         }
         for i in head + 1..head + 4 {
@@ -243,9 +291,14 @@ where
         } else {
             head
         };
-        for i in 1..installed {
+        for i in boundary + 1..installed {
             let blk = node.block(i).expect("checked installed");
             let prev = node.block(i - 1).expect("checked installed");
+            if blk.summary {
+                return Err(format!(
+                    "node {v}: summary sentinel at {i} above the boundary {boundary}"
+                ));
+            }
             // Invariant 3 (third claim): super set below head (non-root).
             if v != topo.root() && i < head && blk.sup().is_none() {
                 return Err(format!(
@@ -310,10 +363,14 @@ where
             }
         }
         // Lemma 12: super off by at most one from the true superblock index.
+        // Start right above the parent's truncation boundary: the boundary
+        // summary's interval ends delimit the (reclaimed) prefix, and every
+        // parent block above it covers only child blocks above this node's
+        // own boundary.
         if v != topo.root() {
             let parent = queue.node(topo.parent(v));
             let is_left = topo.is_left_child(v);
-            let mut pi = 1;
+            let mut pi = parent.boundary() + 1;
             while let (Some(pb), Some(pprev)) = (parent.block(pi), parent.block(pi - 1)) {
                 let (lo, hi) = if is_left {
                     (pprev.endleft + 1, pb.endleft)
@@ -344,21 +401,98 @@ where
     Ok(())
 }
 
-/// Total blocks currently installed across all nodes (space accounting for
-/// experiment E7).
+/// Total blocks currently installed (*live*) across all nodes — space
+/// accounting for experiments E7 and E12.
+///
+/// On a reclamation-enabled queue each node's scan starts at its truncation
+/// boundary (slots below it have been unlinked and freed); see
+/// [`block_counts`] for live and logical totals side by side.
 pub fn total_blocks<T>(queue: &Queue<T>) -> usize
 where
     T: Clone + Send + Sync,
 {
+    let _guard = queue.read_guard();
     let topo = *queue.topology();
     (1..topo.len())
         .map(|v| {
             let node = queue.node(v);
-            let mut i = 0;
+            let start = node.boundary();
+            let mut i = start;
             while node.block(i).is_some() {
                 i += 1;
             }
-            i
+            i - start
         })
         .sum()
+}
+
+/// Live vs. logical block accounting ([`block_counts`]).
+///
+/// `logical` is what [`total_blocks`] would report had no truncation ever
+/// run: the queue's whole block history. The difference between logical
+/// growth (one block per operation per tree level, forever) and a
+/// plateauing `live` count is exactly what epoch-based reclamation buys —
+/// experiment E12 plots both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCounts {
+    /// Blocks currently installed in the tree (see [`total_blocks`]).
+    pub live: usize,
+    /// Blocks unlinked by truncation over the queue's lifetime.
+    pub reclaimed: usize,
+    /// `live + reclaimed`: every block ever retained by the tree. (Blocks
+    /// that lost an install race were never part of the tree and are not
+    /// counted, matching what [`total_blocks`] has always measured.)
+    pub logical: usize,
+}
+
+/// Reports the queue's live block count alongside the logical total that
+/// the paper's never-reclaiming construction would retain.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue::unbounded::{introspect, Queue, ReclaimPolicy};
+///
+/// let q: Queue<u64> = Queue::with_reclaim(1, ReclaimPolicy::EveryKRootBlocks(4));
+/// let mut h = q.register().unwrap();
+/// for i in 0..200 {
+///     h.enqueue(i);
+///     let _ = h.dequeue();
+/// }
+/// let counts = introspect::block_counts(&q);
+/// assert_eq!(counts.logical, counts.live + counts.reclaimed);
+/// assert!(counts.reclaimed > 0, "churn left dead prefixes to truncate");
+/// ```
+pub fn block_counts<T>(queue: &Queue<T>) -> BlockCounts
+where
+    T: Clone + Send + Sync,
+{
+    let live = total_blocks(queue);
+    let reclaimed = queue.reclaim_stats().reclaimed_blocks;
+    BlockCounts {
+        live,
+        reclaimed,
+        logical: live + reclaimed,
+    }
+}
+
+/// An RSS proxy: bytes retained by live blocks (block headers plus the
+/// capacity of their element payloads). Used by experiment E12; like every
+/// introspection helper it is exact at quiescence.
+pub fn live_block_bytes<T>(queue: &Queue<T>) -> usize
+where
+    T: Clone + Send + Sync,
+{
+    let _guard = queue.read_guard();
+    let topo = *queue.topology();
+    let mut bytes = 0;
+    for v in 1..topo.len() {
+        let node = queue.node(v);
+        let mut i = node.boundary();
+        while let Some(b) = node.block(i) {
+            bytes += std::mem::size_of_val(b) + b.elements.capacity() * std::mem::size_of::<T>();
+            i += 1;
+        }
+    }
+    bytes
 }

@@ -13,6 +13,12 @@
 //! `FindResponse`/`GetEnqueue` live in `search`; [`introspect`] exposes
 //! read-only dumps and machine-checkable invariants (Invariant 3/7, Lemmas
 //! 4/12/16) used by tests, examples and the Figure 1/2 reproduction.
+//!
+//! Going beyond the paper, [`reclaim`] adds opt-in epoch-based truncation of
+//! dead ordering-tree prefixes ([`Queue::with_reclaim`]), which makes the
+//! unbounded variant memory-stable under sustained churn while keeping the
+//! default ([`ReclaimPolicy::Off`]) operation path byte-for-byte the
+//! paper's.
 
 mod block;
 mod node;
@@ -21,8 +27,10 @@ mod search;
 
 pub mod ablation;
 pub mod introspect;
+pub mod reclaim;
 
 pub use queue::{Handle, Queue};
+pub use reclaim::{ReclaimPolicy, ReclaimStats};
 
 #[cfg(test)]
 mod tests;

@@ -16,8 +16,21 @@ use super::block::Block;
 /// only ever advances by one past a non-null block, which maintains
 /// Invariant 3: `blocks[0..head)` are installed, everything from `head + 1`
 /// on is empty.
+///
+/// With epoch-based reclamation enabled
+/// ([`crate::unbounded::ReclaimPolicy`]), the installed prefix starts at
+/// `boundary` instead of 0: slots below `boundary` have been unlinked and
+/// freed, and the block at `boundary` is a summary sentinel carrying the
+/// replaced block's scalar fields ([`Block::summary_of`]). `boundary` is 0
+/// (the dummy) for the paper's never-reclaiming queue and only ever
+/// advances, written exclusively by the single truncator thread that holds
+/// the reclamation lock.
 pub(crate) struct Node<T> {
     head: CachePadded<AtomicUsize>,
+    /// Oldest live index of `blocks` (see the struct docs). Read with a
+    /// plain atomic load that is *not* counted as an algorithm step: it is
+    /// reclamation metadata, constant 0 whenever reclamation is off.
+    boundary: CachePadded<AtomicUsize>,
     pub blocks: SegVec<Block<T>>,
 }
 
@@ -30,6 +43,7 @@ impl<T> Node<T> {
             .expect("installing the dummy block in a fresh node cannot fail");
         Node {
             head: CachePadded::new(AtomicUsize::new(1)),
+            boundary: CachePadded::new(AtomicUsize::new(0)),
             blocks,
         }
     }
@@ -38,6 +52,28 @@ impl<T> Node<T> {
     pub fn head(&self) -> usize {
         metrics::record_shared_load();
         self.head.load(Ordering::SeqCst)
+    }
+
+    /// Reads `head` without recording an algorithm step — used only by the
+    /// reclamation trigger, which is maintenance work outside the paper's
+    /// step-count model.
+    pub fn head_untracked(&self) -> usize {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// The truncation boundary: the oldest index of `blocks` that is still
+    /// installed (0 until the first truncation). Untracked load — see the
+    /// struct docs.
+    pub fn boundary(&self) -> usize {
+        self.boundary.load(Ordering::Acquire)
+    }
+
+    /// Advances the truncation boundary. Called only by the truncator that
+    /// holds the reclamation lock, after the prefix below `b` has been
+    /// unlinked and `blocks[b]` replaced by a summary sentinel.
+    pub fn set_boundary(&self, b: usize) {
+        debug_assert!(b >= self.boundary());
+        self.boundary.store(b, Ordering::Release);
     }
 
     /// CAS `head` from `h` to `h + 1` (Figure 4 line 63); one CAS step.
@@ -51,6 +87,15 @@ impl<T> Node<T> {
     /// The block at `index`, if installed.
     pub fn block(&self, index: usize) -> Option<&Block<T>> {
         self.blocks.get(index)
+    }
+
+    /// The block at `index` read without recording an algorithm step — the
+    /// truncator's accessor: its probes are maintenance work outside the
+    /// paper's cost model, and recording them would charge an unbounded
+    /// burst of steps to whichever operation happens to win the
+    /// reclamation try-lock.
+    pub fn block_untracked(&self, index: usize) -> Option<&Block<T>> {
+        self.blocks.get_untracked(index)
     }
 
     /// The block at `index`, which the caller knows is installed.
@@ -88,6 +133,18 @@ mod tests {
         assert_eq!(n.head(), 2);
         n.try_advance_head(1); // stale: no-op
         assert_eq!(n.head(), 2);
+    }
+
+    #[test]
+    fn boundary_starts_at_dummy_and_advances() {
+        let n: Node<u32> = Node::new();
+        assert_eq!(n.boundary(), 0);
+        n.set_boundary(0); // idempotent no-op
+        assert_eq!(n.boundary(), 0);
+        n.blocks.try_install(1, Box::new(Block::dummy())).ok();
+        n.set_boundary(1);
+        assert_eq!(n.boundary(), 1);
+        assert_eq!(n.head_untracked(), 1);
     }
 
     #[test]

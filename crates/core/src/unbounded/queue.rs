@@ -7,6 +7,7 @@ use wfqueue_metrics as metrics;
 
 use super::block::Block;
 use super::node::Node;
+use super::reclaim::{ReclaimPolicy, ReclaimState, ReclaimStats};
 use crate::topology::Topology;
 
 /// The unbounded-space wait-free queue of Naderibeni & Ruppert (§3–§5).
@@ -20,10 +21,14 @@ use crate::topology::Topology;
 /// one leaf block per batch, amortizing the whole `O(log p)` propagation
 /// (and its CAS budget) over the `k` operations of the batch.
 ///
-/// This variant never reclaims blocks — memory grows with the number of
-/// operations, exactly as in §3 of the paper (space bounding is what
-/// [`crate::bounded::Queue`] adds). All memory is released when the queue is
-/// dropped.
+/// By default this variant never reclaims blocks — memory grows with the
+/// number of operations, exactly as in §3 of the paper (space bounding is
+/// what [`crate::bounded::Queue`] adds), and all memory is released when the
+/// queue is dropped. [`Queue::with_reclaim`] opts in to epoch-based tree
+/// truncation (see [`crate::unbounded::reclaim`]), which keeps live memory
+/// proportional to the queue's contents instead of its history while
+/// leaving the `ReclaimPolicy::Off` operation path byte-for-byte identical
+/// to the paper's.
 ///
 /// # Examples
 ///
@@ -41,10 +46,17 @@ pub struct Queue<T> {
     /// Nodes indexed by tree position (`1..topo.len()`; position 0 unused).
     nodes: Vec<Node<T>>,
     next_pid: AtomicUsize,
+    /// Reclamation policy + hazard state (quiescent when the policy is
+    /// [`ReclaimPolicy::Off`]).
+    reclaim: ReclaimState,
 }
 
 impl<T: Clone + Send + Sync> Queue<T> {
     /// Creates a queue for at most `num_processes` concurrent processes.
+    ///
+    /// The queue never reclaims ordering-tree blocks
+    /// ([`ReclaimPolicy::Off`]), exactly as in §3 of the paper; see
+    /// [`Queue::with_reclaim`] for the memory-stable variant.
     ///
     /// # Panics
     ///
@@ -57,6 +69,45 @@ impl<T: Clone + Send + Sync> Queue<T> {
             topo,
             nodes,
             next_pid: AtomicUsize::new(0),
+            reclaim: ReclaimState::new(ReclaimPolicy::Off, num_processes),
+        }
+    }
+
+    /// Creates a queue with an explicit [`ReclaimPolicy`].
+    ///
+    /// With [`ReclaimPolicy::EveryKRootBlocks`] the queue periodically
+    /// truncates dead ordering-tree prefixes (see
+    /// [`crate::unbounded::reclaim`]), so live memory tracks the queue's
+    /// contents instead of its operation history. `T: 'static` is required
+    /// because truncated blocks are destroyed *after* the truncating call
+    /// returns, once all concurrent readers have unpinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processes` is zero, or if the policy's period is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue::unbounded::{Queue, ReclaimPolicy};
+    ///
+    /// let q: Queue<u64> = Queue::with_reclaim(2, ReclaimPolicy::EveryKRootBlocks(64));
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// assert_eq!(h.dequeue(), Some(1));
+    /// ```
+    #[must_use]
+    pub fn with_reclaim(num_processes: usize, policy: ReclaimPolicy) -> Self
+    where
+        T: 'static,
+    {
+        let topo = Topology::new(num_processes);
+        let nodes = (0..topo.len()).map(|_| Node::new()).collect();
+        Queue {
+            topo,
+            nodes,
+            next_pid: AtomicUsize::new(0),
+            reclaim: ReclaimState::new(policy, num_processes),
         }
     }
 
@@ -66,21 +117,49 @@ impl<T: Clone + Send + Sync> Queue<T> {
         self.topo.num_processes()
     }
 
+    /// This queue's reclamation policy ([`ReclaimPolicy::Off`] unless built
+    /// with [`Queue::with_reclaim`]).
+    #[must_use]
+    pub fn reclaim_policy(&self) -> ReclaimPolicy {
+        self.reclaim.policy()
+    }
+
+    /// Cumulative reclamation counters (all zero under
+    /// [`ReclaimPolicy::Off`]).
+    #[must_use]
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim.stats()
+    }
+
+    pub(crate) fn reclaim(&self) -> &ReclaimState {
+        &self.reclaim
+    }
+
+    /// An epoch pin for read-only scans (`approx_len`, introspection) on a
+    /// reclamation-enabled queue; `None` — and free — when reclamation is
+    /// off, since then no block is ever unlinked.
+    pub(crate) fn read_guard(&self) -> Option<crossbeam_epoch::Guard> {
+        self.reclaim.enabled().then(crossbeam_epoch::pin)
+    }
+
     /// The queue's size after the last operation propagated to the root —
     /// the `size` field of the newest root block (Lemma 16).
     ///
     /// Precisely: the returned value is the `size` of a root block that was
     /// the *newest installed* root block at some instant during this call
-    /// (the scan below starts from `head - 1`, which Invariant 3 guarantees
-    /// is installed, and walks forward past every block installed since
-    /// `head` was read). This is exact at quiescence and otherwise a
-    /// recent-past snapshot (operations still propagating are not yet
-    /// counted), which is the strongest "length" any linearizable queue can
-    /// offer concurrently. The cost is two shared loads at quiescence plus
-    /// one load per root block installed concurrently with the call — this
-    /// is an introspection helper, not one of the wait-free queue
-    /// operations, and its step count is bounded by other processes'
-    /// progress during the call.
+    /// (the scan below starts from `head - 1` — clamped to the truncation
+    /// boundary, and retried if the truncator unlinked the start slot
+    /// between the reads — and walks forward past every block installed
+    /// since `head` was read; root `size` survives truncation because
+    /// summary sentinels preserve it). This is exact at quiescence and
+    /// otherwise a recent-past snapshot (operations still propagating are
+    /// not yet counted), which is the strongest "length" any linearizable
+    /// queue can offer concurrently. The cost is three shared loads at
+    /// quiescence plus one load per root block installed (or truncation
+    /// racing the call) concurrently with the call — this is an
+    /// introspection helper, not one of the wait-free queue operations, and
+    /// its step count is bounded by other processes' progress during the
+    /// call.
     ///
     /// # Examples
     ///
@@ -93,20 +172,36 @@ impl<T: Clone + Send + Sync> Queue<T> {
     /// ```
     #[must_use]
     pub fn approx_len(&self) -> usize {
+        // Pinned only on reclamation-enabled queues: references obtained
+        // below stay valid even if the truncator unlinks their blocks while
+        // we hold them (replaced/unlinked blocks are epoch-deferred, and
+        // summary replacements are scalar-identical anyway).
+        let _guard = self.read_guard();
         let root = self.topo.root();
         let node = self.node(root);
-        // `head` may lag arbitrarily many installs behind by the time we
-        // probe (reading `head` and probing `blocks` are two separate shared
-        // accesses), so scan forward to the newest installed block instead
-        // of probing `blocks[head]` alone — the old probe could return a
-        // snapshot several blocks stale when concurrent operations kept
-        // installing between the two reads.
-        let mut last = node.head() - 1;
-        while node.block(last + 1).is_some() {
-            last += 1;
+        loop {
+            // `head` may lag arbitrarily many installs behind by the time
+            // we probe (reading `head` and probing `blocks` are two
+            // separate shared accesses), so scan forward to the newest
+            // installed block instead of probing `blocks[head]` alone.
+            // Truncation adds the opposite race: `approx_len` publishes no
+            // hazard index, so by the time we probe, the truncator may have
+            // *unlinked* the slot our stale `head` snapshot points at.
+            // Clamp the start to the boundary and retry if the start slot
+            // vanished between the reads (the boundary has then advanced,
+            // so the retry makes progress); with reclamation off the clamp
+            // is a no-op and the start slot is installed by Invariant 3.
+            let start = (node.head() - 1).max(node.boundary());
+            let Some(mut blk) = node.block(start) else {
+                continue;
+            };
+            let mut i = start;
+            while let Some(next) = node.block(i + 1) {
+                blk = next;
+                i += 1;
+            }
+            return blk.size;
         }
-        node.block_installed(last, "Invariant 3: root prefix is installed")
-            .size
     }
 
     /// Registers the calling context as the next process, returning its
@@ -151,16 +246,20 @@ impl<T: Clone + Send + Sync> Queue<T> {
 
     /// `Enqueue(e)` — Figure 4 lines 1–4.
     fn enqueue(&self, pid: usize, element: T) {
+        let op = self.begin_op(pid);
         let leaf = self.topo.leaf_of(pid);
         let node = self.node(leaf);
         let h = node.head();
         let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
         let block = Block::leaf_enqueue(element, prev.sumenq, prev.sumdeq);
         self.append(leaf, h, block);
+        self.end_op(pid, op);
     }
 
     /// `Dequeue()` — Figure 4 lines 5–10.
     fn dequeue(&self, pid: usize) -> Option<T> {
+        let op = self.begin_op(pid);
+        let floor = op.as_ref().map_or(0, super::reclaim::OpGuard::floor);
         let leaf = self.topo.leaf_of(pid);
         let node = self.node(leaf);
         let h = node.head();
@@ -168,7 +267,9 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let block = Block::leaf_dequeue(prev.sumenq, prev.sumdeq);
         self.append(leaf, h, block);
         let (b, i) = self.index_dequeue(leaf, h, 1);
-        self.find_response(b, i)
+        let response = self.find_response(b, i, floor);
+        self.end_op(pid, op);
+        response
     }
 
     /// Batched enqueue: appends a *single* leaf block carrying all of
@@ -179,12 +280,14 @@ impl<T: Clone + Send + Sync> Queue<T> {
         if elements.is_empty() {
             return;
         }
+        let op = self.begin_op(pid);
         let leaf = self.topo.leaf_of(pid);
         let node = self.node(leaf);
         let h = node.head();
         let prev = node.block_installed(h - 1, "Invariant 3: blocks[head-1] is installed");
         let block = Block::leaf_enqueue_batch(elements, prev.sumenq, prev.sumdeq);
         self.append(leaf, h, block);
+        self.end_op(pid, op);
     }
 
     /// Batched dequeue: appends a single leaf block carrying `count`
@@ -202,6 +305,8 @@ impl<T: Clone + Send + Sync> Queue<T> {
         if count == 0 {
             return Vec::new();
         }
+        let op = self.begin_op(pid);
+        let floor = op.as_ref().map_or(0, super::reclaim::OpGuard::floor);
         let leaf = self.topo.leaf_of(pid);
         let node = self.node(leaf);
         let h = node.head();
@@ -209,7 +314,11 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let block = Block::leaf_dequeue_batch(count, prev.sumenq, prev.sumdeq);
         self.append(leaf, h, block);
         let (b, i) = self.index_dequeue(leaf, h, 1);
-        (0..count).map(|j| self.find_response(b, i + j)).collect()
+        let responses = (0..count)
+            .map(|j| self.find_response(b, i + j, floor))
+            .collect();
+        self.end_op(pid, op);
+        responses
     }
 
     /// `Append(B)` — Figure 4 lines 11–15.
@@ -332,6 +441,7 @@ impl<T: Clone + Send + Sync> fmt::Debug for Queue<T> {
             .field("num_processes", &self.topo.num_processes())
             .field("registered", &self.next_pid.load(Ordering::Relaxed))
             .field("root_head", &self.node(self.topo.root()).head())
+            .field("reclaim", &self.reclaim.policy())
             .finish()
     }
 }
@@ -399,6 +509,19 @@ impl<'q, T: Clone + Send + Sync> Handle<'q, T> {
     /// `O(log² p + k·log q)` shared steps instead of `k` times the full
     /// per-dequeue bound. A batch of one is behaviourally identical to
     /// [`Handle::dequeue`]; a batch of zero returns an empty vec.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(10);
+    /// h.enqueue(20);
+    /// // The batch's dequeues linearize contiguously; the trailing None
+    /// // witnesses the queue was empty at the third dequeue.
+    /// assert_eq!(h.dequeue_batch(3), vec![Some(10), Some(20), None]);
+    /// assert_eq!(h.dequeue_batch(0), vec![]);
+    /// ```
     #[must_use = "dequeued values should be used (None entries mean the queue was empty)"]
     pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
         self.queue.dequeue_batch(self.pid, count)

@@ -135,7 +135,13 @@ impl<T: Clone + Send + Sync> Queue<T> {
 
     /// `FindResponse(b, i)` — Figure 4 lines 83–96: the response of the
     /// `i`-th dequeue in `D(root.blocks[b])`.
-    pub(crate) fn find_response(&self, b: usize, i: usize) -> Option<T> {
+    ///
+    /// `floor` is the caller's reclamation clamp (its published hindex − 1;
+    /// 0 when reclamation is off): root slots below it may be concurrently
+    /// truncated, but the hindex protocol guarantees the response's enqueue
+    /// lives in a block *above* the floor, so clamping the backwards search
+    /// there loses nothing (see `unbounded::reclaim`).
+    pub(crate) fn find_response(&self, b: usize, i: usize, floor: usize) -> Option<T> {
         let root = self.topology().root();
         let node = self.node(root);
         let blk = node.block_installed(b, "FindResponse precondition: root block installed");
@@ -149,7 +155,7 @@ impl<T: Clone + Send + Sync> Queue<T> {
         // return (line 89): non-null dequeues before block b number
         // prev.sumenq − prev.size.
         let e = i + prev.sumenq - prev.size;
-        let be = self.search_root_enqueue_block(b, e);
+        let be = self.search_root_enqueue_block(b, e, floor);
         let ie = e - node
             .block_installed(be - 1, "Invariant 3: root prefix installed")
             .sumenq;
@@ -162,24 +168,36 @@ impl<T: Clone + Send + Sync> Queue<T> {
     /// The doubling phase examines indices `b−1, b−2, b−4, …` so the search
     /// costs `O(log(b − be))`, which Lemma 20 bounds by the queue sizes at
     /// the two blocks (`O(log q)` overall).
-    pub(crate) fn search_root_enqueue_block(&self, b: usize, e: usize) -> usize {
+    ///
+    /// The probes are clamped at `floor` (the caller's reclamation clamp —
+    /// 0 when reclamation is off, in which case the clamp is a no-op and the
+    /// probe sequence is exactly the paper's): slots below the floor may be
+    /// concurrently unlinked, while the floor slot itself is at worst
+    /// replaced by a scalar-identical summary whose `sumenq` is still below
+    /// any enqueue rank this search can be asked for.
+    pub(crate) fn search_root_enqueue_block(&self, b: usize, e: usize, floor: usize) -> usize {
         let node = self.node(self.topology().root());
         debug_assert!(e >= 1);
-        // Find a lower fence `lo` with blocks[lo].sumenq < e (blocks[0] has
-        // sumenq = 0 < e, so the loop terminates).
+        // Find a lower fence `lo` with blocks[lo].sumenq < e (blocks[floor]
+        // summarises only dead enqueues, so its sumenq < e and the loop
+        // terminates; for floor == 0 that is the dummy's sumenq = 0).
         let mut width = 1usize;
         let mut lo;
         loop {
-            let idx = b.saturating_sub(width);
+            let idx = b.saturating_sub(width).max(floor);
             let below = node
-                .block_installed(idx, "Invariant 3: root prefix installed")
+                .block_installed(
+                    idx,
+                    "Invariant 3: root prefix above the boundary is installed",
+                )
                 .sumenq
                 < e;
-            if idx == 0 || below {
+            if idx == floor || below {
                 lo = idx;
                 if !below {
-                    // idx == 0 and sumenq >= e cannot happen (dummy sums 0).
-                    unreachable!("dummy block has sumenq 0 < e");
+                    // The floor block's prefix counts only dead enqueues,
+                    // all of rank < e (for floor == 0: the dummy sums 0).
+                    unreachable!("floor block's sumenq is below any live enqueue rank");
                 }
                 break;
             }

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use super::introspect;
-use super::Queue;
+use super::{Queue, ReclaimPolicy};
 
 /// Drives a single handle through a script and mirrors it on a `VecDeque`.
 fn run_script_single(ops: &[Option<u64>]) {
@@ -591,4 +591,149 @@ fn drain_empties_in_fifo_order() {
     assert_eq!(h.dequeue(), None);
     // Drain on empty yields nothing.
     assert_eq!(h.drain().count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based tree truncation (unbounded::reclaim)
+// ---------------------------------------------------------------------------
+
+/// Mixed single-handle script shared by the reclamation tests: enqueues,
+/// dequeues (hitting both empty and non-empty states) and batches.
+fn reclaim_script(h: &mut super::Handle<'_, u64>, model: &mut VecDeque<u64>) {
+    for round in 0..240u64 {
+        match round % 6 {
+            0 | 1 | 3 => {
+                h.enqueue(round);
+                model.push_back(round);
+            }
+            2 | 4 => {
+                assert_eq!(h.dequeue(), model.pop_front());
+            }
+            _ => {
+                let batch: Vec<u64> = vec![round, round + 1_000];
+                model.extend(batch.iter().copied());
+                h.enqueue_batch(batch);
+                for r in h.dequeue_batch(3) {
+                    assert_eq!(r, model.pop_front());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reclaim_off_is_step_identical_to_default_queue() {
+    // The acceptance criterion: with `ReclaimPolicy::Off` the operation
+    // path must be byte-for-byte the paper's — same CASes, same loads, same
+    // stores, same allocs.
+    let run = |q: Queue<u64>| {
+        let mut h = q.register().unwrap();
+        let mut model = VecDeque::new();
+        let (_, steps) = wfqueue_metrics::measure(|| reclaim_script(&mut h, &mut model));
+        introspect::check_invariants(&q).unwrap();
+        steps
+    };
+    let default_steps = run(Queue::new(2));
+    let off_steps = run(Queue::with_reclaim(2, ReclaimPolicy::Off));
+    assert_eq!(
+        default_steps, off_steps,
+        "ReclaimPolicy::Off must not change the hot path"
+    );
+}
+
+#[test]
+fn reclaim_truncates_dead_prefix_and_preserves_semantics() {
+    let q: Queue<u64> = Queue::with_reclaim(2, ReclaimPolicy::EveryKRootBlocks(8));
+    let mut h = q.register().unwrap();
+    let mut model = VecDeque::new();
+    reclaim_script(&mut h, &mut model);
+    let stats = q.reclaim_stats();
+    assert!(stats.truncations > 0, "the every-8 trigger must have fired");
+    assert!(stats.reclaimed_blocks > 0);
+    assert!(stats.frontier > 1);
+    introspect::check_invariants(&q).unwrap();
+    // The retained state still dequeues the correct values.
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(h.dequeue(), Some(expect));
+    }
+    assert_eq!(h.dequeue(), None);
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn reclaim_logical_totals_match_paper_queue() {
+    // live + reclaimed on the truncating queue must equal the block count
+    // the never-reclaiming queue retains for the identical script.
+    let run = |q: Queue<u64>| {
+        let mut h = q.register().unwrap();
+        let mut model = VecDeque::new();
+        reclaim_script(&mut h, &mut model);
+        introspect::block_counts(&q)
+    };
+    let paper = run(Queue::new(2));
+    let reclaiming = run(Queue::with_reclaim(2, ReclaimPolicy::EveryKRootBlocks(4)));
+    assert_eq!(paper.reclaimed, 0);
+    assert_eq!(
+        reclaiming.logical, paper.logical,
+        "truncation must not change how many blocks the tree ever retained"
+    );
+    assert!(
+        reclaiming.live < paper.live / 4,
+        "churn must leave most of the paper queue's {} blocks dead; \
+         reclaiming queue still holds {}",
+        paper.live,
+        reclaiming.live
+    );
+}
+
+#[test]
+fn try_reclaim_on_drained_queue_truncates_everything_dead() {
+    // A period too large to ever self-trigger: only the explicit call runs.
+    let q: Queue<u64> = Queue::with_reclaim(1, ReclaimPolicy::EveryKRootBlocks(1_000_000));
+    let mut h = q.register().unwrap();
+    for i in 0..100 {
+        h.enqueue(i);
+    }
+    assert_eq!(h.drain().count(), 100);
+    let before = introspect::total_blocks(&q);
+    let freed = q.try_reclaim();
+    assert!(freed > 0, "a fully drained history is all dead");
+    let after = introspect::total_blocks(&q);
+    assert_eq!(after, before - freed, "freed slots leave the live count");
+    let nodes = q.topology().len() - 1;
+    assert!(
+        after <= nodes,
+        "at most one summary block per node may remain, got {after} over {nodes} nodes"
+    );
+    introspect::check_invariants(&q).unwrap();
+    // A second pass finds nothing new.
+    assert_eq!(q.try_reclaim(), 0);
+    // The queue keeps working past a full truncation.
+    let mut model = VecDeque::new();
+    reclaim_script(&mut h, &mut model);
+    for expect in model {
+        assert_eq!(h.dequeue(), Some(expect));
+    }
+    introspect::check_invariants(&q).unwrap();
+}
+
+#[test]
+fn reclaim_off_queue_never_truncates() {
+    let q: Queue<u64> = Queue::with_reclaim(1, ReclaimPolicy::Off);
+    let mut h = q.register().unwrap();
+    for i in 0..50 {
+        h.enqueue(i);
+        let _ = h.dequeue();
+    }
+    assert_eq!(q.try_reclaim(), 0);
+    let stats = q.reclaim_stats();
+    assert_eq!((stats.truncations, stats.reclaimed_blocks), (0, 0));
+    assert_eq!(stats.frontier, 1, "frontier never moves when off");
+    assert!(!q.reclaim_policy().enabled());
+}
+
+#[test]
+#[should_panic(expected = "at least 1")]
+fn zero_reclaim_period_is_rejected() {
+    let _ = Queue::<u64>::with_reclaim(1, ReclaimPolicy::EveryKRootBlocks(0));
 }

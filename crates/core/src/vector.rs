@@ -106,7 +106,11 @@ impl<T: Clone + Send + Sync> WfVector<T> {
         if e > total {
             return None;
         }
-        let be = self.inner.search_root_enqueue_block(last, e);
+        // The vector's inner queue never reclaims (`Queue::new`), so the
+        // boundary clamp is the constant 0 and the search is the paper's.
+        let be = self
+            .inner
+            .search_root_enqueue_block(last, e, node.boundary());
         let before = node
             .block_installed(be - 1, "Invariant 3: root prefix is installed")
             .sumenq;

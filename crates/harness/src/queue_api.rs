@@ -7,7 +7,7 @@ use std::fmt;
 use wfqueue_baselines::{MsQueue, MutexQueue, SegQueueAdapter, TwoLockQueue};
 use wfqueue_shard::{Shard, ShardedBounded, ShardedHandle, ShardedUnbounded};
 
-pub use wfqueue_shard::Routing;
+pub use wfqueue_shard::{ReclaimPolicy, Routing};
 
 /// A queue could not supply the requested number of handles.
 ///
@@ -146,6 +146,16 @@ impl<T: Clone + Send + Sync> WfUnbounded<T> {
     #[must_use]
     pub fn new(processes: usize) -> Self {
         WfUnbounded(wfqueue::unbounded::Queue::new(processes))
+    }
+
+    /// Creates an adapter whose queue truncates dead ordering-tree prefixes
+    /// per `policy` (see `wfqueue::unbounded::reclaim`).
+    #[must_use]
+    pub fn with_reclaim(processes: usize, policy: ReclaimPolicy) -> Self
+    where
+        T: 'static,
+    {
+        WfUnbounded(wfqueue::unbounded::Queue::with_reclaim(processes, policy))
     }
 }
 
@@ -324,6 +334,23 @@ impl<T: Clone + Send + Sync> WfShardedUnbounded<T> {
     pub fn new(shards: usize, processes: usize, routing: Routing) -> Self {
         WfShardedUnbounded(ShardedUnbounded::new(shards, processes, routing))
     }
+
+    /// Like [`WfShardedUnbounded::new`] with an explicit per-shard
+    /// [`ReclaimPolicy`] — each shard truncates its own tree independently.
+    #[must_use]
+    pub fn with_reclaim(
+        shards: usize,
+        processes: usize,
+        routing: Routing,
+        policy: ReclaimPolicy,
+    ) -> Self
+    where
+        T: 'static,
+    {
+        WfShardedUnbounded(ShardedUnbounded::with_reclaim(
+            shards, processes, routing, policy,
+        ))
+    }
 }
 
 impl<T: Clone + Send + Sync> ConcurrentQueue<T> for WfShardedUnbounded<T> {
@@ -491,12 +518,22 @@ mod tests {
         round_trip(&WfBounded::with_gc_period(2, 1));
         round_trip(&WfBoundedAvl::new(2));
         round_trip(&WfBoundedAvl::with_gc_period(2, 1));
+        round_trip(&WfUnbounded::with_reclaim(
+            2,
+            ReclaimPolicy::EveryKRootBlocks(2),
+        ));
         for routing in [
             Routing::PerProducer,
             Routing::RoundRobin,
             Routing::Rendezvous,
         ] {
             round_trip(&WfShardedUnbounded::new(2, 2, routing));
+            round_trip(&WfShardedUnbounded::with_reclaim(
+                2,
+                2,
+                routing,
+                ReclaimPolicy::EveryKRootBlocks(4),
+            ));
             round_trip(&WfShardedBounded::with_gc_period(2, 2, 4, routing));
         }
         round_trip(&Ms::new());

@@ -18,10 +18,21 @@ const SEGMENTS: usize = 58;
 /// An unbounded, lock-free, **write-once** vector.
 ///
 /// `SegVec<T>` models the paper's infinite `blocks` array: each index can be
-/// installed at most once (CAS from empty), is never overwritten, and is
-/// freed only when the `SegVec` itself is dropped. Readers get `&T`
-/// references that live as long as the vector, with no synchronisation
-/// beyond one atomic load per level.
+/// installed at most once (CAS from empty), is never overwritten by
+/// `try_install`, and is freed when the `SegVec` itself is dropped. Readers
+/// get `&T` references that live as long as the vector, with no
+/// synchronisation beyond one atomic load per level.
+///
+/// # Explicit unlinking
+///
+/// [`SegVec::take_raw`] and [`SegVec::replace_raw`] let a *reclaiming*
+/// caller unlink entries early, which is what the unbounded queue's
+/// epoch-based tree truncation uses. They return the raw pointer that was
+/// installed so the caller can defer its destruction; until the caller
+/// frees that pointer, previously handed-out `&T` references remain valid.
+/// A caller that never unlinks keeps the plain write-once contract above.
+/// Unlinking records no shared-memory step: it is maintenance work outside
+/// the algorithms' step accounting (like [`SegVec::get_untracked`]).
 ///
 /// Storage is a fixed directory of segments whose sizes grow geometrically
 /// (64, 128, 256, ...), so `get`/`try_install` are wait-free with O(1) work,
@@ -83,6 +94,18 @@ impl<T> SegVec<T> {
     #[must_use]
     pub fn get(&self, index: usize) -> Option<&T> {
         metrics::record_shared_load();
+        self.get_untracked(index)
+    }
+
+    /// [`SegVec::get`] without recording a shared-memory step.
+    ///
+    /// For *maintenance* readers that live outside the algorithms' step
+    /// accounting (the unbounded queue's truncator is the motivating
+    /// caller): recording their probes would attribute unbounded bursts of
+    /// maintenance work to whichever operation happens to trigger it.
+    /// Algorithm code paths must use [`SegVec::get`].
+    #[must_use]
+    pub fn get_untracked(&self, index: usize) -> Option<&T> {
         let (seg, off) = locate(index);
         let seg_ptr = self.directory[seg].load(Ordering::Acquire);
         if seg_ptr.is_null() {
@@ -96,9 +119,10 @@ impl<T> SegVec<T> {
         if value.is_null() {
             None
         } else {
-            // SAFETY: slots are write-once (CAS from null in `try_install`)
-            // and the pointee is freed only in Drop, so the reference is
-            // valid for the lifetime of `self`.
+            // SAFETY: the pointee is freed either in Drop or — after an
+            // explicit `take_raw`/`replace_raw` unlink — by a caller who
+            // contractually defers the free past every outstanding reader,
+            // so the reference is valid for as long as the caller can use it.
             Some(unsafe { &*value })
         }
     }
@@ -140,6 +164,57 @@ impl<T> SegVec<T> {
                 // non-null current value) and write-once.
                 Err((unsafe { &*existing }, rejected))
             }
+        }
+    }
+
+    /// Atomically unlinks the entry at `index`, returning the raw pointer
+    /// that was installed there (`None` if the slot was empty).
+    ///
+    /// The pointee is **not** freed: ownership of the allocation passes to
+    /// the caller, who must destroy it with `Box::from_raw` only once no
+    /// concurrent reader can still hold a `&T` obtained from [`SegVec::get`]
+    /// (e.g. via an epoch guard's deferred destruction). After the unlink,
+    /// `get(index)` returns `None` and `try_install(index, ..)` could
+    /// succeed again — callers that rely on write-once semantics must not
+    /// reuse unlinked indices. Records no step (maintenance work).
+    #[must_use]
+    pub fn take_raw(&self, index: usize) -> Option<*mut T> {
+        let (seg, off) = locate(index);
+        let seg_ptr = self.directory[seg].load(Ordering::Acquire);
+        if seg_ptr.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null directory entry points to a live array of
+        // `BASE << seg` slots (see `get`).
+        let slot = unsafe { &*seg_ptr.add(off) };
+        let old = slot.swap(ptr::null_mut(), Ordering::SeqCst);
+        if old.is_null() {
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Atomically replaces the entry at `index` with `value`, returning the
+    /// raw pointer that was installed before (`None` if the slot was empty —
+    /// the new value is installed either way).
+    ///
+    /// Ownership of the returned pointer passes to the caller under the same
+    /// deferred-destruction contract as [`SegVec::take_raw`]. Concurrent
+    /// readers observe either the old or the new entry. Records no step
+    /// (maintenance work).
+    #[must_use]
+    pub fn replace_raw(&self, index: usize, value: Box<T>) -> Option<*mut T> {
+        let (seg, off) = locate(index);
+        let segment = self.segment_or_alloc(seg);
+        // SAFETY: `segment` points to a live array of `BASE << seg` slots;
+        // `off < BASE << seg` by `locate`.
+        let slot = unsafe { &*segment.add(off) };
+        let old = slot.swap(Box::into_raw(value), Ordering::SeqCst);
+        if old.is_null() {
+            None
+        } else {
+            Some(old)
         }
     }
 
@@ -342,6 +417,35 @@ mod tests {
         for i in 0..slots {
             assert!(v.get(i).is_some());
         }
+    }
+
+    #[test]
+    fn take_raw_unlinks_and_hands_back_ownership() {
+        let v: SegVec<u64> = SegVec::new();
+        assert!(v.take_raw(5).is_none(), "empty slot yields nothing");
+        v.try_install(5, Box::new(42)).unwrap();
+        let raw = v.take_raw(5).expect("installed entry is returned");
+        assert!(v.get(5).is_none(), "slot is empty after the unlink");
+        assert!(v.take_raw(5).is_none(), "second take finds nothing");
+        // SAFETY: `raw` came from `Box::into_raw` inside `try_install` and
+        // was unlinked exactly once; no readers exist in this test.
+        let owned = unsafe { Box::from_raw(raw) };
+        assert_eq!(*owned, 42);
+    }
+
+    #[test]
+    fn replace_raw_swaps_entries() {
+        let v: SegVec<&str> = SegVec::new();
+        assert!(
+            v.replace_raw(3, Box::new("fresh")).is_none(),
+            "replacing an empty slot installs and returns nothing"
+        );
+        assert_eq!(v.get(3), Some(&"fresh"));
+        let old = v.replace_raw(3, Box::new("newer")).expect("old entry");
+        assert_eq!(v.get(3), Some(&"newer"));
+        // SAFETY: unlinked exactly once, no concurrent readers in this test.
+        let owned = unsafe { Box::from_raw(old) };
+        assert_eq!(*owned, "fresh");
     }
 
     #[test]

@@ -53,6 +53,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use wfqueue::bounded;
 use wfqueue::unbounded;
 
+pub use wfqueue::unbounded::ReclaimPolicy;
+
 // ---------------------------------------------------------------------------
 // The shard abstraction
 // ---------------------------------------------------------------------------
@@ -408,6 +410,49 @@ impl<T: Clone + Send + Sync> ShardedUnbounded<T> {
     }
 }
 
+impl<T: Clone + Send + Sync + 'static> ShardedUnbounded<T> {
+    /// Like [`ShardedUnbounded::new`] with an explicit per-shard
+    /// [`ReclaimPolicy`]: each shard truncates its own ordering tree
+    /// independently, so the composite's live memory plateaus under churn
+    /// exactly as a single reclaiming queue's does — sharding and
+    /// reclamation compose without interacting (a shard's truncation only
+    /// ever touches that shard's tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero, or if the policy's
+    /// period is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{ReclaimPolicy, Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::with_reclaim(
+    ///     2,
+    ///     2,
+    ///     Routing::PerProducer,
+    ///     ReclaimPolicy::EveryKRootBlocks(16),
+    /// );
+    /// let mut h = q.try_handle().unwrap();
+    /// for i in 0..100 {
+    ///     h.enqueue(i);
+    ///     assert_eq!(h.dequeue(), Some(i));
+    /// }
+    /// ```
+    #[must_use]
+    pub fn with_reclaim(
+        num_shards: usize,
+        max_handles: usize,
+        routing: Routing,
+        policy: ReclaimPolicy,
+    ) -> Self {
+        Self::build(num_shards, max_handles, routing, |cap| {
+            unbounded::Queue::with_reclaim(cap, policy)
+        })
+    }
+}
+
 impl<T: Clone + Send + Sync, F: bounded::StoreFamily> ShardedBounded<T, F> {
     /// Creates a sharded queue over `num_shards` bounded-space shards with
     /// the paper's default GC period, capped at `max_handles` composite
@@ -562,6 +607,24 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
     /// policy (one rotation step per batch under [`Routing::RoundRobin`]),
     /// so the underlying one-leaf-block-per-batch amortization composes
     /// with sharding. An empty batch is a no-op.
+    ///
+    /// Because the batch lands on a single FIFO shard, its values stay
+    /// contiguous *within that shard's* consumption order under every
+    /// routing policy — the batch-atomicity contract of the inner queues,
+    /// weakened only across shards (see the [crate docs](crate)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 1, Routing::RoundRobin);
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue_batch(vec![1, 2, 3]); // one leaf block on shard 0
+    /// h.enqueue_batch(vec![4, 5]); // one leaf block on shard 1
+    /// assert_eq!(q.shards()[0].approx_len(), 3);
+    /// assert_eq!(q.shards()[1].approx_len(), 2);
+    /// ```
     pub fn enqueue_batch(&mut self, values: impl IntoIterator<Item = Q::Item>) {
         let values: Vec<Q::Item> = values.into_iter().collect();
         if values.is_empty() {
@@ -576,6 +639,23 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
     /// shard pays one leaf block + one propagation). Values are returned in
     /// consumption order; the vec is padded with `None` to length `count`
     /// once the sweep is exhausted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 1, Routing::RoundRobin);
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue_batch(vec![1, 2]); // shard 0
+    /// h.enqueue_batch(vec![3]); // shard 1
+    /// // The sweep drains shard by shard, in each shard's FIFO order,
+    /// // padding with None once every swept shard is empty.
+    /// assert_eq!(
+    ///     h.dequeue_batch(4),
+    ///     vec![Some(1), Some(2), Some(3), None]
+    /// );
+    /// ```
     #[must_use = "dequeued values should be used (None entries mean the swept shards were empty)"]
     pub fn dequeue_batch(&mut self, count: usize) -> Vec<Option<Q::Item>> {
         if count == 0 {
@@ -747,6 +827,32 @@ mod tests {
         );
         h.enqueue_batch(Vec::new()); // no-op, does not advance the cursor
         assert_eq!(q.approx_len(), 0);
+    }
+
+    #[test]
+    fn reclaiming_shards_truncate_independently() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::with_reclaim(
+            2,
+            2,
+            Routing::PerProducer,
+            ReclaimPolicy::EveryKRootBlocks(8),
+        );
+        let mut handles = q.handles();
+        for round in 0..500u64 {
+            for h in &mut handles {
+                h.enqueue(round);
+                assert_eq!(h.dequeue(), Some(round));
+            }
+        }
+        for (s, shard) in q.shards().iter().enumerate() {
+            let stats = shard.reclaim_stats();
+            assert!(stats.truncations > 0, "shard {s} never truncated");
+            assert!(
+                wfqueue::unbounded::introspect::total_blocks(shard) < 200,
+                "shard {s} retained its whole history"
+            );
+            wfqueue::unbounded::introspect::check_invariants(shard).unwrap();
+        }
     }
 
     #[test]

@@ -1,30 +1,41 @@
-//! Demonstrates the bounded-space construction (§6 of the paper): under a
-//! continuous enqueue/dequeue churn, the unbounded queue's ordering tree
-//! accumulates one block per operation forever, while the bounded queue's
-//! GC phases keep the live-block count flat (Theorem 31 / Lemma 29).
+//! Demonstrates the three memory behaviours of the reproduction: under a
+//! continuous enqueue/dequeue churn the paper's unbounded queue (§3)
+//! accumulates one block per operation forever, the bounded queue's GC
+//! phases (§6, Theorem 31 / Lemma 29) keep the live-block count flat, and
+//! the unbounded queue with epoch-based tree truncation
+//! (`ReclaimPolicy::EveryKRootBlocks`, beyond the paper) plateaus while
+//! keeping the §3 hot path.
+//!
+//! The asserted regression version of this observation lives in
+//! `tests/memory_reclaim.rs`; experiment E12 measures it under concurrency.
 //!
 //! Run with: `cargo run --release --example space_bounded_gc`
 
 use wfqueue::bounded::introspect as bounded_introspect;
 use wfqueue::unbounded::introspect as unbounded_introspect;
+use wfqueue::unbounded::ReclaimPolicy;
 
 fn main() {
     let rounds = 20_000u64;
     let checkpoints = 8;
 
     let unbounded: wfqueue::unbounded::Queue<u64> = wfqueue::unbounded::Queue::new(2);
+    let reclaiming: wfqueue::unbounded::Queue<u64> =
+        wfqueue::unbounded::Queue::with_reclaim(2, ReclaimPolicy::EveryKRootBlocks(64));
     let bounded: wfqueue::bounded::Queue<u64> = wfqueue::bounded::Queue::with_gc_period(2, 8);
     let mut hu = unbounded.register().unwrap();
+    let mut hr = reclaiming.register().unwrap();
     let mut hb = bounded.register().unwrap();
 
     println!("enqueue+dequeue churn, queue size held at ~16 elements\n");
     println!(
-        "{:>10}  {:>18}  {:>16}  {:>14}",
-        "operations", "unbounded blocks", "bounded blocks", "bounded depth"
+        "{:>10}  {:>16}  {:>18}  {:>14}  {:>13}",
+        "operations", "unbounded blocks", "+reclamation live", "bounded blocks", "bounded depth"
     );
 
     for i in 0..16 {
         hu.enqueue(i);
+        hr.enqueue(i);
         hb.enqueue(i);
     }
 
@@ -34,15 +45,19 @@ fn main() {
         for i in from..until {
             hu.enqueue(i);
             let _ = hu.dequeue();
+            hr.enqueue(i);
+            let _ = hr.dequeue();
             hb.enqueue(i);
             let _ = hb.dequeue();
         }
         let ub = unbounded_introspect::total_blocks(&unbounded);
+        let rc = unbounded_introspect::total_blocks(&reclaiming);
         let bs = bounded_introspect::space_stats(&bounded);
         println!(
-            "{:>10}  {:>18}  {:>16}  {:>14}",
+            "{:>10}  {:>16}  {:>18}  {:>14}  {:>13}",
             until * 2,
             ub,
+            rc,
             bs.total_blocks,
             bs.max_tree_depth
         );
@@ -50,13 +65,23 @@ fn main() {
 
     let final_unbounded = unbounded_introspect::total_blocks(&unbounded);
     let final_bounded = bounded_introspect::space_stats(&bounded).total_blocks;
+    let reclaim_counts = unbounded_introspect::block_counts(&reclaiming);
     println!(
         "\nafter {} operations: unbounded holds {final_unbounded} blocks, bounded holds \
          {final_bounded} — a {}x reduction (Theorem 31: space depends on p and q, not history)",
         rounds * 2,
         final_unbounded / final_bounded.max(1)
     );
+    println!(
+        "truncation kept {} of {} logical blocks live ({} reclaimed across {} truncations) \
+         while the per-op path stayed the §3 algorithm",
+        reclaim_counts.live,
+        reclaim_counts.logical,
+        reclaim_counts.reclaimed,
+        reclaiming.reclaim_stats().truncations,
+    );
 
     bounded_introspect::check_invariants(&bounded).expect("bounded invariants");
     unbounded_introspect::check_invariants(&unbounded).expect("unbounded invariants");
+    unbounded_introspect::check_invariants(&reclaiming).expect("reclaiming invariants");
 }

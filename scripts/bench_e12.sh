@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Records the E12-memory churn series (live blocks / RSS proxy with and
+# without epoch-based tree truncation) as BENCH_e12.json so the perf
+# trajectory accumulates across PRs. Run from the repo root:
+#
+#   scripts/bench_e12.sh            # writes ./BENCH_e12.json
+#   scripts/bench_e12.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e12.json}"
+
+cargo bench --bench e12_memory -- --json > "$out"
+echo "wrote $out:"
+head -n 6 "$out"

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Offline, lychee-style markdown link check over the repo's documentation:
+# verifies that every relative link resolves to an existing file and that
+# every `#anchor` (internal or cross-file) matches a real heading. External
+# URLs (http/https/mailto) are deliberately NOT fetched — CI must stay
+# offline-safe — they are only counted.
+#
+#   scripts/check_links.sh                 # checks the default doc set
+#   scripts/check_links.sh FILE.md ...     # checks specific files
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md DESIGN.md EXPERIMENTS.md MAP.md PAPER.md PAPERS.md \
+         ROADMAP.md SNIPPETS.md CHANGES.md vendor/README.md)
+fi
+
+python3 - "${files[@]}" <<'PY'
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+CODE_FENCE = re.compile(r"```.*?```", re.S)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE.sub("", f.read())
+    anchors = set()
+    for h in HEADING.findall(text):
+        # GitHub anchor algorithm: strip markup/punctuation, lowercase,
+        # spaces to hyphens.
+        h = re.sub(r"[`*_\[\]()]", "", h).strip().lower()
+        h = re.sub(r"[^\w\- ]", "", h)
+        anchors.add(h.replace(" ", "-"))
+    return anchors
+
+
+errors = []
+checked = external = 0
+for md in sys.argv[1:]:
+    if not os.path.exists(md):
+        errors.append(f"{md}: file listed for checking does not exist")
+        continue
+    with open(md, encoding="utf-8") as f:
+        text = CODE_FENCE.sub("", f.read())
+    text = INLINE_CODE.sub("", text)
+    base = os.path.dirname(md) or "."
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            external += 1
+            continue
+        checked += 1
+        path, _, anchor = target.partition("#")
+        dest = md if not path else os.path.normpath(os.path.join(base, path))
+        if path and not os.path.exists(dest):
+            errors.append(f"{md}: broken relative link -> {target}")
+            continue
+        if anchor and os.path.splitext(dest)[1] in ("", ".md"):
+            if os.path.isfile(dest) and anchor.lower() not in anchors_of(dest):
+                errors.append(f"{md}: missing anchor -> {target}")
+
+print(f"checked {checked} internal links ({external} external skipped) "
+      f"across {len(sys.argv) - 1} files")
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+print("all internal links resolve")
+PY
