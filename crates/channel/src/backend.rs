@@ -1,0 +1,126 @@
+//! The three queue backends behind a channel, and the owning handles the
+//! endpoints carry.
+//!
+//! Endpoints ([`Sender`](crate::Sender)/[`Receiver`](crate::Receiver)) own
+//! the channel through an `Arc` while also owning a per-process queue
+//! handle that *borrows* the queue inside that `Arc`. Rust cannot express
+//! this self-referential shape safely, so [`Backend::register`] is the one
+//! `unsafe` site of this crate: it extends the borrow to `'static`. The
+//! justification is the standard owning-handle argument:
+//!
+//! * the queue lives inside an `Arc`-managed [`Shared`](crate::Shared)
+//!   allocation, so it never moves;
+//! * every [`RawHandle`] is stored in an endpoint **next to** a clone of
+//!   that `Arc`, with the handle field declared first, so the handle is
+//!   dropped before the queue can be;
+//! * handles never escape the endpoint that owns them.
+
+use std::sync::Arc;
+
+use wfqueue::{bounded, unbounded};
+use wfqueue_shard::{ShardedHandle, ShardedUnbounded};
+
+/// The queue actually storing a channel's values.
+pub(crate) enum Backend<T: Clone + Send + Sync + 'static> {
+    /// The paper's §3 queue (optionally with epoch-based tree truncation).
+    Unbounded(unbounded::Queue<T>),
+    /// The paper's §6 bounded-*space* queue (treap-backed).
+    SpaceBounded(bounded::Queue<T>),
+    /// The PR 3 sharded frontend over unbounded shards.
+    Sharded(ShardedUnbounded<T>),
+}
+
+impl<T: Clone + Send + Sync + 'static> Backend<T> {
+    /// Total per-process handles the backend can register.
+    pub(crate) fn capacity(&self) -> usize {
+        match self {
+            Backend::Unbounded(q) => q.num_processes(),
+            Backend::SpaceBounded(q) => q.num_processes(),
+            Backend::Sharded(q) => q.max_handles(),
+        }
+    }
+
+    /// The backend's recent-past length snapshot (exact at quiescence).
+    pub(crate) fn approx_len(&self) -> usize {
+        match self {
+            Backend::Unbounded(q) => q.approx_len(),
+            Backend::SpaceBounded(q) => q.approx_len(),
+            Backend::Sharded(q) => q.approx_len(),
+        }
+    }
+
+    /// Registers one per-process handle, with its borrow of `self`
+    /// extended to `'static`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the returned handle is dropped
+    /// before `self_arc`'s allocation is, and that the backend is never
+    /// moved out of it. Both hold for the endpoints: they store the handle
+    /// alongside a clone of the `Arc` (handle field first, so it drops
+    /// first) and never move the backend.
+    pub(crate) unsafe fn register(self_arc: &Arc<crate::Shared<T>>) -> Option<RawHandle<T>> {
+        match &self_arc.backend {
+            Backend::Unbounded(q) => {
+                let q: &'static unbounded::Queue<T> = unsafe { &*std::ptr::from_ref(q) };
+                q.register().map(RawHandle::Unbounded)
+            }
+            Backend::SpaceBounded(q) => {
+                let q: &'static bounded::Queue<T> = unsafe { &*std::ptr::from_ref(q) };
+                q.register().map(RawHandle::SpaceBounded)
+            }
+            Backend::Sharded(q) => {
+                let q: &'static ShardedUnbounded<T> = unsafe { &*std::ptr::from_ref(q) };
+                q.try_handle().map(RawHandle::Sharded)
+            }
+        }
+    }
+}
+
+/// A per-endpoint queue handle (one process id of the ordering tree),
+/// dispatching to whichever backend the channel was built over.
+///
+/// The `'static` lifetime is a fiction maintained by the endpoint that
+/// owns this handle — see the module docs.
+pub(crate) enum RawHandle<T: Clone + Send + Sync + 'static> {
+    /// Handle into [`Backend::Unbounded`].
+    Unbounded(unbounded::Handle<'static, T>),
+    /// Handle into [`Backend::SpaceBounded`].
+    SpaceBounded(bounded::Handle<'static, T>),
+    /// Handle into [`Backend::Sharded`].
+    Sharded(ShardedHandle<'static, unbounded::Queue<T>>),
+}
+
+impl<T: Clone + Send + Sync + 'static> RawHandle<T> {
+    pub(crate) fn enqueue(&mut self, value: T) {
+        match self {
+            RawHandle::Unbounded(h) => h.enqueue(value),
+            RawHandle::SpaceBounded(h) => h.enqueue(value),
+            RawHandle::Sharded(h) => h.enqueue(value),
+        }
+    }
+
+    pub(crate) fn dequeue(&mut self) -> Option<T> {
+        match self {
+            RawHandle::Unbounded(h) => h.dequeue(),
+            RawHandle::SpaceBounded(h) => h.dequeue(),
+            RawHandle::Sharded(h) => h.dequeue(),
+        }
+    }
+
+    pub(crate) fn enqueue_batch(&mut self, values: Vec<T>) {
+        match self {
+            RawHandle::Unbounded(h) => h.enqueue_batch(values),
+            RawHandle::SpaceBounded(h) => h.enqueue_batch(values),
+            RawHandle::Sharded(h) => h.enqueue_batch(values),
+        }
+    }
+
+    pub(crate) fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        match self {
+            RawHandle::Unbounded(h) => h.dequeue_batch(count),
+            RawHandle::SpaceBounded(h) => h.dequeue_batch(count),
+            RawHandle::Sharded(h) => h.dequeue_batch(count),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Error types of the channel operations.
+//!
+//! The surface mirrors `std::sync::mpsc` / crossbeam-channel so the facade
+//! is a drop-in mental model: send errors return the unsent value(s) to the
+//! caller, receive errors distinguish *empty right now* from *disconnected
+//! forever*.
+
+use std::fmt;
+
+/// A [`Sender::try_send`](crate::Sender::try_send) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is capacity-bounded and currently full; the value is
+    /// handed back.
+    Full(T),
+    /// Every [`Receiver`](crate::Receiver) has been dropped, so the value
+    /// could never be consumed; it is handed back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Consumes the error, returning the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a full capacity-bounded channel.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// Whether the failure was a disconnected channel (no receivers left).
+    #[must_use]
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => {
+                write!(f, "sending on a channel with no receivers")
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// A [`Sender::send`](crate::Sender::send) or
+/// [`Sender::send_all`](crate::Sender::send_all) failed because every
+/// [`Receiver`](crate::Receiver) was dropped; the unsent value(s) are handed
+/// back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Consumes the error, returning the value(s) that could not be sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// A [`Receiver::try_recv`](crate::Receiver::try_recv) found no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel was empty at the dequeue's linearization point, but
+    /// senders still exist — a value may arrive later.
+    Empty,
+    /// The channel is empty **and** every [`Sender`](crate::Sender) has
+    /// been dropped: no value can ever arrive. Reported only after a final
+    /// drain attempt, so every value sent before the disconnect is
+    /// delivered first.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty channel with no senders")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// A [`Receiver::recv`](crate::Receiver::recv) failed: the channel is empty
+/// and every [`Sender`](crate::Sender) has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A [`Receiver::recv_timeout`](crate::Receiver::recv_timeout) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout; senders still exist.
+    Timeout,
+    /// The channel is empty and every [`Sender`](crate::Sender) has been
+    /// dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty channel with no senders")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// A [`Sender::try_clone`](crate::Sender::try_clone) or
+/// [`Receiver::try_clone`](crate::Receiver::try_clone) failed: the
+/// channel's endpoint budget for that side is exhausted.
+///
+/// Every endpoint owns one process id (one leaf) of the backing ordering
+/// tree, and the tree is sized at construction
+/// ([`Endpoints`](crate::Endpoints)); dropped endpoints do **not** return
+/// their id (mirroring the queues' `register`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloneError {
+    /// The per-side endpoint budget that is exhausted.
+    pub limit: usize,
+}
+
+impl fmt::Display for CloneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel endpoint budget exhausted: all {} endpoints of this side have been \
+             created (build the channel with a larger `Endpoints` budget)",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for CloneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(TrySendError::Full(1).to_string().contains("full"));
+        assert!(TrySendError::Disconnected(1)
+            .to_string()
+            .contains("no receivers"));
+        assert!(SendError(5).to_string().contains("no receivers"));
+        assert!(TryRecvError::Empty.to_string().contains("empty"));
+        assert!(TryRecvError::Disconnected
+            .to_string()
+            .contains("no senders"));
+        assert!(RecvError.to_string().contains("no senders"));
+        assert!(RecvTimeoutError::Timeout.to_string().contains("timed out"));
+        assert!(CloneError { limit: 4 }.to_string().contains("4"));
+    }
+
+    #[test]
+    fn try_send_error_accessors() {
+        assert_eq!(TrySendError::Full(7).into_inner(), 7);
+        assert!(TrySendError::Full(7).is_full());
+        assert!(!TrySendError::Full(7).is_disconnected());
+        assert!(TrySendError::Disconnected(7).is_disconnected());
+        assert_eq!(SendError(vec![1, 2]).into_inner(), vec![1, 2]);
+    }
+}

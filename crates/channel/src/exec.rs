@@ -1,0 +1,107 @@
+//! A minimal block-on executor (behind `feature = "async"`).
+//!
+//! This is the test/bring-up harness for the channel's futures: it drives
+//! a single future on the current thread with a park/unpark waker and no
+//! reactor. It exists so the async API can be exercised — in doctests, the
+//! linearizability harness and applications that just need one future
+//! driven — without depending on any async runtime. Production code with a
+//! runtime should spawn the futures there instead; the futures themselves
+//! are executor-agnostic.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+/// Wakes the blocked thread by unparking it.
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives `future` to completion on the current thread, parking between
+/// polls.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_channel::exec::block_on;
+///
+/// let (mut tx, mut rx) = wfqueue_channel::unbounded::<u32>();
+/// block_on(tx.send_async(1)).unwrap();
+/// assert_eq!(block_on(rx.recv_async()), Ok(1));
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(output) => return output,
+            // A wake between the poll and this park is not lost: the
+            // unpark token is buffered and the park returns immediately.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// Drives `future` for at most `timeout`, returning `None` if it did not
+/// complete in time (the future is dropped, cancelling it).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use wfqueue_channel::exec::block_on_timeout;
+///
+/// let (_tx, mut rx) = wfqueue_channel::unbounded::<u32>();
+/// // Nothing is ever sent: the recv future times out.
+/// assert_eq!(
+///     block_on_timeout(rx.recv_async(), Duration::from_millis(5)),
+///     None
+/// );
+/// ```
+pub fn block_on_timeout<F: Future>(future: F, timeout: Duration) -> Option<F::Output> {
+    let deadline = Instant::now() + timeout;
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(output) => return Some(output),
+            Poll::Pending => {
+                let remaining = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())?;
+                std::thread::park_timeout(remaining);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(std::future::ready(42)), 42);
+    }
+
+    #[test]
+    fn block_on_timeout_pending_forever() {
+        assert_eq!(
+            block_on_timeout(std::future::pending::<()>(), Duration::from_millis(5)),
+            None
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Blocking and async MPMC channels over the wait-free ordering-tree
+//! queues.
+//!
+//! Everything below this facade is the queue of *Naderibeni & Ruppert,
+//! "A Wait-free Queue with Polylogarithmic Step Complexity" (PODC 2023)*
+//! and this repository's extensions to it (batching, sharding, epoch-based
+//! tree truncation). This crate packages those cores behind the interface
+//! an application actually consumes — [`Sender`]/[`Receiver`] pairs in the
+//! `std::sync::mpsc`/crossbeam mould — instead of the raw busy-polling
+//! handles:
+//!
+//! * **Non-blocking**: [`Sender::try_send`] / [`Receiver::try_recv`] — a
+//!   thin wrapper over the raw handles. On the unbounded backends the try
+//!   path performs **zero additional CAS** and only two channel-layer
+//!   loads per send (none per successful receive); `tests/channel.rs`
+//!   asserts this parity exactly, step counter by step counter.
+//! * **Blocking**: [`Sender::send`] / [`Receiver::recv`] /
+//!   [`Receiver::recv_timeout`] — idle consumers *park* on an event count
+//!   instead of spinning (see [`Where wait-freedom
+//!   ends`](#where-wait-freedom-ends)).
+//! * **Async** (`feature = "async"`): `Sender::send_async` /
+//!   `Receiver::recv_async` — executor-agnostic futures with a waker
+//!   registry behind the same event counts, plus the minimal
+//!   `exec::block_on` test executor. No runtime dependency.
+//!
+//! Plus the channel conveniences: `Drop`-driven disconnect (senders gone ⇒
+//! receivers drain then see [`RecvError`]; receivers gone ⇒ sends fail
+//! returning the value), [`Receiver::into_iter`] worker loops, and batch
+//! ops ([`Sender::send_all`] / [`Receiver::recv_up_to`]) that delegate to
+//! the queues' native one-leaf-block-per-batch amortization.
+//!
+//! # Choosing a constructor
+//!
+//! | constructor | backend | memory | capacity |
+//! |---|---|---|---|
+//! | [`unbounded`] | §3 queue + epoch-based tree truncation | plateaus under churn | unbounded |
+//! | [`bounded`] | §6 bounded-*space* queue | polynomial in `p`, `q` | bounded (`send` blocks when full) |
+//! | [`sharded`] | `S` independent wait-free shards | plateaus (per-shard truncation) | unbounded |
+//!
+//! A [`sharded`] channel multiplies root-CAS bandwidth but relaxes
+//! ordering to per-sender FIFO (each sender's values arrive in order;
+//! values of different senders on different shards carry no order) — the
+//! semantics of [`wfqueue_shard::Routing::Rendezvous`] by default. The
+//! single-queue constructors are fully linearizable FIFO.
+//!
+//! # Endpoint budgets
+//!
+//! Every endpoint owns one process id — one leaf — of the backing
+//! ordering tree, which is sized at construction by [`Endpoints`] (default
+//! 16 senders + 16 receivers). [`Sender::try_clone`] /
+//! [`Receiver::try_clone`] mint new endpoints until that budget is
+//! exhausted; dropped endpoints do **not** return their id (the queues'
+//! `register` contract). Per-operation cost grows with the tree height,
+//! `O(log(total endpoints))`, so budget what you will actually use.
+//!
+//! # Where wait-freedom ends
+//!
+//! **Wait-freedom is a property of the queue operations, not of waiting
+//! for data.** Every enqueue and dequeue under this facade — including the
+//! ones issued by `send`, `recv` and the futures — completes in the
+//! paper's bounded number of steps regardless of what other threads do.
+//! *Blocking until the channel is non-empty (or non-full) is a different
+//! problem*: "wait until someone else produces" is by definition not
+//! wait-free, and no channel can make it so. What the facade guarantees:
+//!
+//! * `try_send` / `try_recv` / `recv_up_to` are exactly as wait-free as
+//!   the raw handles (asserted parity).
+//! * `send` on an [`unbounded`]/[`sharded`] channel never waits at all.
+//! * `recv` / full-`send` park on an event count whose handshake is
+//!   lost-wakeup-free (publish → re-check → sleep vs update → fence →
+//!   check, hunted by the adversarial scheduler in `tests/channel.rs`),
+//!   and the capacity gate of [`bounded`] channels is a lock-free CAS
+//!   reservation. Waiting threads consume no CPU.
+//!
+//! See `DESIGN.md` ("Channel facade") for the full protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use wfqueue_channel as channel;
+//!
+//! let (tx, rx) = channel::unbounded();
+//!
+//! // A worker pool: each worker blocks on `recv` (no spinning), and the
+//! // loop ends when every sender is dropped and the channel drained.
+//! std::thread::scope(|s| {
+//!     for worker in 0..2 {
+//!         let rx = rx.try_clone().unwrap();
+//!         s.spawn(move || {
+//!             for job in rx {
+//!                 let _ = (worker, job); // process the job
+//!             }
+//!         });
+//!     }
+//!     let mut tx = tx; // take ownership so the drop disconnects
+//!     for job in 0..100u32 {
+//!         tx.send(job).unwrap();
+//!     }
+//!     drop(tx);
+//!     drop(rx);
+//! });
+//! ```
+
+#![deny(missing_docs)]
+
+mod backend;
+mod endpoint;
+mod error;
+mod wait;
+
+#[cfg(feature = "async")]
+pub mod exec;
+#[cfg(feature = "async")]
+pub mod future;
+
+pub(crate) use endpoint::Shared;
+pub use endpoint::{IntoIter, Receiver, Sender, TryIter};
+pub use error::{CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+pub use wfqueue_shard::{ReclaimPolicy, Routing};
+
+use backend::Backend;
+
+/// How many endpoints of each side a channel can mint
+/// ([`Sender::try_clone`] / [`Receiver::try_clone`] draw on this budget).
+///
+/// The backing ordering tree gets `senders + receivers` leaves, so
+/// per-operation cost is `O(log(senders + receivers))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoints {
+    /// Maximum sender endpoints ever created (must be ≥ 1).
+    pub senders: usize,
+    /// Maximum receiver endpoints ever created (must be ≥ 1).
+    pub receivers: usize,
+}
+
+impl Default for Endpoints {
+    /// 16 senders + 16 receivers.
+    fn default() -> Self {
+        Endpoints {
+            senders: 16,
+            receivers: 16,
+        }
+    }
+}
+
+impl Endpoints {
+    /// Total process ids the backend must provide.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.senders + self.receivers
+    }
+}
+
+/// Configuration of an [`unbounded_with`] channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnboundedConfig {
+    /// Endpoint budget (sizes the ordering tree).
+    pub endpoints: Endpoints,
+    /// Tree-truncation policy of the backing queue. The default,
+    /// `EveryKRootBlocks(64)`, keeps live memory plateaued under churn —
+    /// the right default for a long-running service. Use
+    /// [`ReclaimPolicy::Off`] for the paper's byte-for-byte §3 hot path
+    /// (history is then retained until the channel drops).
+    pub reclaim: ReclaimPolicy,
+}
+
+impl Default for UnboundedConfig {
+    fn default() -> Self {
+        UnboundedConfig {
+            endpoints: Endpoints::default(),
+            reclaim: ReclaimPolicy::EveryKRootBlocks(64),
+        }
+    }
+}
+
+/// Configuration of a [`bounded_with`] channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedConfig {
+    /// Maximum in-flight values; [`Sender::send`] blocks (and
+    /// [`Sender::try_send`] returns [`TrySendError::Full`]) at the limit.
+    /// Must be ≥ 1.
+    pub capacity: usize,
+    /// Endpoint budget (sizes the ordering tree).
+    pub endpoints: Endpoints,
+    /// GC period of the backing bounded-space queue; `None` uses the
+    /// paper's default for the tree size.
+    pub gc_period: Option<usize>,
+}
+
+impl BoundedConfig {
+    /// Defaults (default endpoints, paper-default GC period) at the given
+    /// capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BoundedConfig {
+            capacity,
+            endpoints: Endpoints::default(),
+            gc_period: None,
+        }
+    }
+}
+
+/// Configuration of a [`sharded`] channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Independent wait-free shards fanning out the root-CAS bandwidth
+    /// (must be ≥ 1). `1` is observationally a plain [`unbounded`]
+    /// channel.
+    pub shards: usize,
+    /// Endpoint budget (each shard's tree is sized per the routing
+    /// policy).
+    pub endpoints: Endpoints,
+    /// Routing policy. The default, [`Routing::Rendezvous`], keeps
+    /// per-sender FIFO and starvation-free sweeping receivers;
+    /// [`Routing::RoundRobin`] trades per-sender FIFO away for load
+    /// spread. [`Routing::PerProducer`] is **rejected** (the constructor
+    /// panics): it pins *receivers* to one shard too, so a receiver could
+    /// never observe values sent on the other shards — which would break
+    /// the channel contract that any receiver can receive any value and
+    /// that `recv` drains everything before reporting a disconnect.
+    pub routing: Routing,
+    /// Per-shard tree-truncation policy (see [`UnboundedConfig::reclaim`]).
+    pub reclaim: ReclaimPolicy,
+}
+
+impl Default for ShardedConfig {
+    /// 4 shards, rendezvous routing, default endpoints, truncation every
+    /// 64 root blocks.
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            endpoints: Endpoints::default(),
+            routing: Routing::Rendezvous,
+            reclaim: ReclaimPolicy::EveryKRootBlocks(64),
+        }
+    }
+}
+
+/// Creates an unbounded MPMC channel over the wait-free unbounded queue
+/// (with memory-stabilising tree truncation — see [`UnboundedConfig`]).
+///
+/// `send` never blocks; `recv` parks while empty.
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, rx) = wfqueue_channel::unbounded();
+/// tx.send_all(0..3).unwrap();
+/// drop(tx);
+/// assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+/// ```
+#[must_use]
+pub fn unbounded<T: Clone + Send + Sync + 'static>() -> (Sender<T>, Receiver<T>) {
+    unbounded_with(UnboundedConfig::default())
+}
+
+/// [`unbounded`] with an explicit [`UnboundedConfig`].
+///
+/// # Panics
+///
+/// Panics if an endpoint budget is zero or the reclaim period is zero.
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_channel::{unbounded_with, Endpoints, ReclaimPolicy, UnboundedConfig};
+///
+/// // A small channel on the paper's exact §3 path (no truncation).
+/// let (mut tx, mut rx) = unbounded_with::<u64>(UnboundedConfig {
+///     endpoints: Endpoints { senders: 1, receivers: 1 },
+///     reclaim: ReclaimPolicy::Off,
+/// });
+/// tx.send(1).unwrap();
+/// assert_eq!(rx.recv(), Ok(1));
+/// ```
+#[must_use]
+pub fn unbounded_with<T: Clone + Send + Sync + 'static>(
+    cfg: UnboundedConfig,
+) -> (Sender<T>, Receiver<T>) {
+    let queue = wfqueue::unbounded::Queue::with_reclaim(cfg.endpoints.total(), cfg.reclaim);
+    Shared::channel(
+        Backend::Unbounded(queue),
+        None,
+        cfg.endpoints.senders,
+        cfg.endpoints.receivers,
+    )
+}
+
+/// Creates a capacity-bounded MPMC channel over the wait-free
+/// bounded-space queue: at most `capacity` values are in flight
+/// ([`Sender::send`] blocks at the limit — backpressure), and the
+/// backend's own GC keeps memory polynomial in the endpoint count and
+/// queue size regardless of history.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, mut rx) = wfqueue_channel::bounded(2);
+/// tx.try_send(1).unwrap();
+/// tx.try_send(2).unwrap();
+/// assert!(tx.try_send(3).unwrap_err().is_full());
+/// assert_eq!(rx.recv(), Ok(1)); // frees a slot
+/// tx.try_send(3).unwrap();
+/// ```
+#[must_use]
+pub fn bounded<T: Clone + Send + Sync + 'static>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    bounded_with(BoundedConfig::with_capacity(capacity))
+}
+
+/// [`bounded`] with an explicit [`BoundedConfig`].
+///
+/// # Panics
+///
+/// Panics if the capacity, an endpoint budget or the GC period is zero.
+#[must_use]
+pub fn bounded_with<T: Clone + Send + Sync + 'static>(
+    cfg: BoundedConfig,
+) -> (Sender<T>, Receiver<T>) {
+    let pids = cfg.endpoints.total();
+    let queue = match cfg.gc_period {
+        Some(period) => wfqueue::bounded::Queue::with_gc_period(pids, period),
+        None => wfqueue::bounded::Queue::new(pids),
+    };
+    Shared::channel(
+        Backend::SpaceBounded(queue),
+        Some(cfg.capacity),
+        cfg.endpoints.senders,
+        cfg.endpoints.receivers,
+    )
+}
+
+/// Creates an unbounded MPMC channel over `cfg.shards` independent
+/// wait-free shards: root-CAS bandwidth multiplies by the shard count, at
+/// the cost of relaxing ordering to per-sender FIFO (see
+/// [`ShardedConfig::routing`]).
+///
+/// # Panics
+///
+/// Panics if the shard count, an endpoint budget or the reclaim period is
+/// zero, or if `cfg.routing` is [`Routing::PerProducer`] (see
+/// [`ShardedConfig::routing`] — a pinned receiver could never drain the
+/// other shards).
+///
+/// # Examples
+///
+/// ```
+/// use wfqueue_channel::{sharded, ShardedConfig};
+///
+/// let (mut tx, mut rx) = sharded(ShardedConfig { shards: 2, ..ShardedConfig::default() });
+/// tx.send_all([1, 2, 3]).unwrap(); // one sender: arrives in order
+/// assert_eq!(rx.recv(), Ok(1));
+/// assert_eq!(rx.recv_up_to(5), vec![2, 3]);
+/// ```
+#[must_use]
+pub fn sharded<T: Clone + Send + Sync + 'static>(cfg: ShardedConfig) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        cfg.routing != Routing::PerProducer,
+        "a sharded channel needs a sweeping routing policy (Rendezvous or RoundRobin): \
+         PerProducer pins receivers to one shard, so they could never observe values \
+         sent on the others"
+    );
+    let queue = match cfg.reclaim {
+        ReclaimPolicy::Off => {
+            wfqueue_shard::ShardedUnbounded::new(cfg.shards, cfg.endpoints.total(), cfg.routing)
+        }
+        policy => wfqueue_shard::ShardedUnbounded::with_reclaim(
+            cfg.shards,
+            cfg.endpoints.total(),
+            cfg.routing,
+            policy,
+        ),
+    };
+    Shared::channel(
+        Backend::Sharded(queue),
+        None,
+        cfg.endpoints.senders,
+        cfg.endpoints.receivers,
+    )
+}

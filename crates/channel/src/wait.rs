@@ -1,0 +1,268 @@
+//! The channel's wakeup primitive: an event count with an optional async
+//! waker registry behind it.
+//!
+//! [`Signal`] solves the one problem the wait-free queue does not:
+//! *waiting for data without spinning*. The protocol is the classic
+//! event-count / sequence-lock handshake:
+//!
+//! * A waiter calls [`Signal::listen`] (publishing itself in `waiters` and
+//!   snapshotting `epoch`), **re-checks the condition it is waiting for**,
+//!   and only then parks in [`Signal::wait`] — which refuses to sleep if
+//!   the epoch already advanced.
+//! * A notifier makes its update visible, then calls [`Signal::notify`],
+//!   which advances the epoch and wakes sleepers — but only after an
+//!   uncontended fast path (one `SeqCst` fence + one load of `waiters`)
+//!   says somebody might be parked.
+//!
+//! The no-lost-wakeup argument is the store-buffer (Dekker) pattern: the
+//! waiter *writes* `waiters` then *reads* the channel state; the notifier
+//! *writes* the channel state then *reads* `waiters`; both sides order the
+//! pair with `SeqCst`, so at least one of the two reads sees the other
+//! side's write. Either the waiter's re-check finds the data (it never
+//! sleeps), or the notifier sees `waiters > 0` (it wakes the sleeper).
+//! `tests/channel.rs` hunts this handshake under the adversarial
+//! scheduler, which yields inside every window of the protocol.
+//!
+//! Blocking through a [`Signal`] is, of course, **not wait-free** — see
+//! the crate docs for where the wait-freedom boundary lies.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Proof that a waiter published itself: the epoch it observed.
+///
+/// Must be consumed by exactly one of [`Signal::wait`],
+/// [`Signal::wait_deadline`] or [`Signal::cancel`] (the type is
+/// deliberately not `Copy`, and the methods take it by value).
+#[derive(Debug)]
+pub(crate) struct ListenKey(u64);
+
+/// An event count: the blocking half of the channel.
+#[derive(Debug, Default)]
+pub(crate) struct Signal {
+    /// Parked (or about-to-park) threads plus registered async wakers.
+    waiters: AtomicUsize,
+    /// Notification epoch; advancing it releases every current listener.
+    epoch: AtomicU64,
+    /// Guards the condvar sleep/notify pair (holds no data).
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// Registered async wakers as `(id, waker)`; ids are handed out by
+    /// `next_waker_id` so a future can re-register (replacing its stale
+    /// waker) and deregister precisely.
+    #[cfg(feature = "async")]
+    wakers: Mutex<Vec<(u64, std::task::Waker)>>,
+    #[cfg(feature = "async")]
+    next_waker_id: AtomicU64,
+}
+
+impl Signal {
+    /// Publishes the caller as a waiter and snapshots the current epoch.
+    ///
+    /// After `listen` the caller **must** re-check its wakeup condition
+    /// before calling [`Signal::wait`]; that re-check is what closes the
+    /// race against a notifier that ran before the publication.
+    pub(crate) fn listen(&self) -> ListenKey {
+        // SeqCst RMW: the publication is ordered before the caller's
+        // subsequent re-check of the channel state.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        ListenKey(self.epoch.load(Ordering::SeqCst))
+    }
+
+    /// Withdraws a publication without sleeping (the re-check found data,
+    /// or the caller is giving up).
+    pub(crate) fn cancel(&self, key: ListenKey) {
+        let _ = key;
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Parks until the epoch advances past the listened snapshot. Returns
+    /// immediately if it already has.
+    pub(crate) fn wait(&self, key: ListenKey) {
+        let mut guard = self
+            .lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while self.epoch.load(Ordering::SeqCst) == key.0 {
+            guard = self
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Parks until the epoch advances or `deadline` passes. Returns `true`
+    /// if the epoch advanced (a notification arrived), `false` on timeout.
+    pub(crate) fn wait_deadline(&self, key: ListenKey, deadline: Instant) -> bool {
+        let mut guard = self
+            .lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let notified = loop {
+            if self.epoch.load(Ordering::SeqCst) != key.0 {
+                break true;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break false;
+            };
+            let (g, _timeout) = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = g;
+        };
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        notified
+    }
+
+    /// Wakes every current listener (parked threads and registered async
+    /// wakers). The uncontended fast path is one fence plus one shared
+    /// load, recorded in the step counters; with nobody listening nothing
+    /// else happens.
+    pub(crate) fn notify(&self) {
+        // The notifier's state update (enqueue / slot release / counter
+        // drop) happened before this call; the fence orders it before the
+        // `waiters` read for the Dekker argument above.
+        fence(Ordering::SeqCst);
+        wfqueue_metrics::record_shared_load();
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        {
+            let _guard = self
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.cv.notify_all();
+        }
+        #[cfg(feature = "async")]
+        self.wake_all();
+    }
+
+    /// Registers (or refreshes) an async waker. `slot` is the future's
+    /// registration id, threaded through polls so a re-poll replaces its
+    /// stale waker instead of piling up duplicates.
+    #[cfg(feature = "async")]
+    pub(crate) fn register_waker(&self, slot: &mut Option<u64>, waker: &std::task::Waker) {
+        let mut wakers = self
+            .wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(id) = *slot {
+            if let Some(entry) = wakers.iter_mut().find(|(i, _)| *i == id) {
+                entry.1.clone_from(waker);
+                return;
+            }
+            // A notify drained the old entry (and decremented `waiters`);
+            // fall through and register afresh under a new id.
+        }
+        let id = self.next_waker_id.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(id);
+        wakers.push((id, waker.clone()));
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Withdraws a future's registration, if a notify has not already
+    /// consumed it. Called on future completion and drop.
+    #[cfg(feature = "async")]
+    pub(crate) fn deregister_waker(&self, slot: &mut Option<u64>) {
+        if let Some(id) = slot.take() {
+            let mut wakers = self
+                .wakers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(pos) = wakers.iter().position(|(i, _)| *i == id) {
+                wakers.remove(pos);
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Drains and fires every registered waker.
+    #[cfg(feature = "async")]
+    fn wake_all(&self) {
+        let drained: Vec<(u64, std::task::Waker)> = {
+            let mut wakers = self
+                .wakers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *wakers)
+        };
+        if !drained.is_empty() {
+            self.waiters.fetch_sub(drained.len(), Ordering::SeqCst);
+            for (_, waker) in drained {
+                waker.wake();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn cancel_keeps_waiters_balanced() {
+        let s = Signal::default();
+        let key = s.listen();
+        s.cancel(key);
+        assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
+        // With no waiters, notify takes the fast path and changes nothing.
+        s.notify();
+        assert_eq!(s.epoch.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_returns_immediately_if_epoch_advanced() {
+        let s = Signal::default();
+        let key = s.listen();
+        // A notifier that runs between listen and wait advances the epoch
+        // (waiters is 1, so the slow path is taken).
+        s.notify();
+        s.wait(key); // must not block
+        assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_deadline_times_out() {
+        let s = Signal::default();
+        let key = s.listen();
+        let woken = s.wait_deadline(key, Instant::now() + Duration::from_millis(10));
+        assert!(!woken);
+        assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let s = Arc::new(Signal::default());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (s2, flag2) = (Arc::clone(&s), Arc::clone(&flag));
+        let waiter = std::thread::spawn(move || loop {
+            if flag2.load(Ordering::SeqCst) {
+                return;
+            }
+            let key = s2.listen();
+            if flag2.load(Ordering::SeqCst) {
+                s2.cancel(key);
+                return;
+            }
+            s2.wait(key);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        s.notify();
+        waiter.join().unwrap();
+    }
+}

@@ -60,6 +60,16 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
     /// # Panics
     ///
     /// Panics if `num_processes` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue::bounded::Queue;
+    ///
+    /// let q: Queue<u32> = Queue::new(4);
+    /// assert_eq!(q.num_processes(), 4);
+    /// assert_eq!(q.gc_period(), 4 * 4 * 2, "G = p²⌈log₂ p⌉");
+    /// ```
     #[must_use]
     pub fn new(num_processes: usize) -> Self {
         let g = num_processes * num_processes * ceil_log2(num_processes);
@@ -73,6 +83,18 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
     /// # Panics
     ///
     /// Panics if `num_processes` or `gc_period` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue::bounded::Queue;
+    ///
+    /// // GC after every block insertion — maximal space pressure.
+    /// let q: Queue<u32> = Queue::with_gc_period(2, 1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// assert_eq!(h.dequeue(), Some(1));
+    /// ```
     #[must_use]
     pub fn with_gc_period(num_processes: usize, gc_period: usize) -> Self {
         assert!(gc_period > 0, "gc_period must be at least 1");
@@ -127,6 +149,15 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
     /// Registration is capped (same fix as the unbounded twin): exhausted
     /// queues return `None` without mutating the counter, so `Debug`'s
     /// `registered` field never over-reports and the counter cannot wrap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::bounded::Queue::<u8>::new(1);
+    /// let h = q.register().unwrap();
+    /// assert_eq!(h.process_id(), 0);
+    /// assert!(q.register().is_none(), "capacity is capped");
+    /// ```
     pub fn register(&self) -> Option<Handle<'_, T, F>> {
         let cap = self.topo.num_processes();
         let mut pid = self.next_pid.load(Ordering::Relaxed);
@@ -387,13 +418,33 @@ pub struct Handle<'q, T: Clone + Send + Sync, F: StoreFamily = TreapBacked> {
 }
 
 impl<'q, T: Clone + Send + Sync, F: StoreFamily> Handle<'q, T, F> {
-    /// Appends `value` to the back of the queue.
+    /// Appends `value` to the back of the queue (`O(log p · log(p+q))`
+    /// amortized steps, Theorem 32).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<&str> = wfqueue::bounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue("job");
+    /// assert_eq!(q.approx_len(), 1);
+    /// ```
     pub fn enqueue(&mut self, value: T) {
         self.queue.enqueue(self.pid, value);
     }
 
     /// Removes and returns the front value, or `None` if the queue is empty
     /// at the dequeue's linearization point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q: wfqueue::bounded::Queue<u32> = wfqueue::bounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(9);
+    /// assert_eq!(h.dequeue(), Some(9));
+    /// assert_eq!(h.dequeue(), None);
+    /// ```
     #[must_use = "a dequeued value should be used (None means the queue was empty)"]
     pub fn dequeue(&mut self) -> Option<T> {
         self.queue.dequeue(self.pid)

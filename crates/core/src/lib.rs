@@ -65,7 +65,7 @@
 //! (bounded variant), so `T: Clone + Send + Sync` is required. Wrap
 //! expensive payloads in [`std::sync::Arc`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounded;
 pub mod topology;

@@ -61,6 +61,16 @@ impl<T: Clone + Send + Sync> Queue<T> {
     /// # Panics
     ///
     /// Panics if `num_processes` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue::unbounded::Queue;
+    ///
+    /// let q: Queue<u32> = Queue::new(4);
+    /// assert_eq!(q.num_processes(), 4);
+    /// assert_eq!(q.handles().len(), 4);
+    /// ```
     #[must_use]
     pub fn new(num_processes: usize) -> Self {
         let topo = Topology::new(num_processes);
@@ -212,6 +222,15 @@ impl<T: Clone + Send + Sync> Queue<T> {
     /// `fetch_add` would keep climbing, over-reporting `Debug`'s
     /// `registered` field and — theoretically, after a wrap — re-issuing
     /// pid 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::<u8>::new(1);
+    /// let h = q.register().unwrap();
+    /// assert_eq!(h.process_id(), 0);
+    /// assert!(q.register().is_none(), "capacity is capped");
+    /// ```
     pub fn register(&self) -> Option<Handle<'_, T>> {
         let cap = self.topo.num_processes();
         let mut pid = self.next_pid.load(Ordering::Relaxed);
@@ -232,6 +251,14 @@ impl<T: Clone + Send + Sync> Queue<T> {
     }
 
     /// Returns all remaining handles (convenient with scoped threads).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::<u8>::new(3);
+    /// let _first = q.register().unwrap();
+    /// assert_eq!(q.handles().len(), 2, "the two not yet registered");
+    /// ```
     pub fn handles(&self) -> Vec<Handle<'_, T>> {
         std::iter::from_fn(|| self.register()).collect()
     }
@@ -467,12 +494,32 @@ pub struct Handle<'q, T> {
 
 impl<'q, T: Clone + Send + Sync> Handle<'q, T> {
     /// Appends `value` to the back of the queue (`O(log p)` steps).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue("first");
+    /// h.enqueue("second");
+    /// assert_eq!(q.approx_len(), 2);
+    /// ```
     pub fn enqueue(&mut self, value: T) {
         self.queue.enqueue(self.pid, value);
     }
 
     /// Removes and returns the front value, or `None` if the queue is empty
     /// at the dequeue's linearization point (`O(log² p + log q)` steps).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let q = wfqueue::unbounded::Queue::new(1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue(1);
+    /// assert_eq!(h.dequeue(), Some(1));
+    /// assert_eq!(h.dequeue(), None, "empty at the linearization point");
+    /// ```
     #[must_use = "a dequeued value should be used (None means the queue was empty)"]
     pub fn dequeue(&mut self) -> Option<T> {
         self.queue.dequeue(self.pid)

@@ -5,6 +5,9 @@
 //!
 //! * [`queue_api`] — a uniform [`ConcurrentQueue`] trait with adapters for
 //!   both wait-free queue variants and all baselines;
+//! * [`channel_api`] — [`ConcurrentQueue`] adapters for the
+//!   `wfqueue_channel` facade, so the same checkers cover the channel
+//!   layer in its try, blocking and (`feature = "async"`) async modes;
 //! * [`workload`] — deterministic closed-loop workloads with per-operation
 //!   step accounting and built-in FIFO audits;
 //! * [`lincheck`] — timestamped history recording and a small-scope
@@ -16,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel_api;
 pub mod lincheck;
 pub mod queue_api;
 pub mod rng;

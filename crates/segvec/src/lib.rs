@@ -16,7 +16,7 @@
 //! versions of the bounded queue) where this workspace uses `unsafe`; each
 //! block is justified by the write-once/never-freed protocol.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod once_cell;
 mod seg_vec;

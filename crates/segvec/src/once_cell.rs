@@ -51,6 +51,14 @@ impl<T> AtomicOnceCell<T> {
     /// # Errors
     ///
     /// Returns `Err(value)` when another value was installed first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cell = wfqueue_segvec::AtomicOnceCell::new();
+    /// assert_eq!(cell.set(1), Ok(()));
+    /// assert_eq!(cell.set(2), Err(2), "write-once: the loser gets it back");
+    /// ```
     pub fn set(&self, value: T) -> Result<(), T> {
         let raw = Box::into_raw(Box::new(value));
         match self
@@ -71,6 +79,17 @@ impl<T> AtomicOnceCell<T> {
     }
 
     /// Returns the value if the cell has been set. Counts as one shared load.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cell = wfqueue_segvec::AtomicOnceCell::new();
+    /// assert_eq!(cell.get(), None);
+    /// assert!(!cell.is_set());
+    /// cell.set("ready").unwrap();
+    /// assert_eq!(cell.get(), Some(&"ready"));
+    /// assert!(cell.is_set());
+    /// ```
     #[must_use]
     pub fn get(&self) -> Option<&T> {
         metrics::record_shared_load();

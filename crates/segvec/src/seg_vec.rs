@@ -91,6 +91,15 @@ impl<T> SegVec<T> {
 
     /// Returns the entry at `index`, or `None` if nothing has been installed
     /// there yet. Counts as one shared-memory step.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v: wfqueue_segvec::SegVec<u32> = wfqueue_segvec::SegVec::new();
+    /// assert_eq!(v.get(3), None);
+    /// v.try_install(3, Box::new(30)).unwrap();
+    /// assert_eq!(v.get(3), Some(&30));
+    /// ```
     #[must_use]
     pub fn get(&self, index: usize) -> Option<&T> {
         metrics::record_shared_load();
@@ -246,6 +255,15 @@ impl<T> SegVec<T> {
 
     /// Returns an iterator over installed entries in `0..len`, yielding
     /// `None` for empty slots. Intended for tests and introspection.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v: wfqueue_segvec::SegVec<u32> = wfqueue_segvec::SegVec::new();
+    /// v.try_install(1, Box::new(10)).unwrap();
+    /// let prefix: Vec<Option<&u32>> = v.iter_prefix(3).collect();
+    /// assert_eq!(prefix, vec![None, Some(&10), None]);
+    /// ```
     pub fn iter_prefix(&self, len: usize) -> impl Iterator<Item = Option<&T>> + '_ {
         (0..len).map(move |i| self.get(i))
     }

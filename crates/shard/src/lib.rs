@@ -45,7 +45,7 @@
 //! composes with sharding: a batch still costs one `try_install` + one
 //! `Propagate` on its shard.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -221,6 +221,18 @@ impl Routing {
     /// only ever registers the handles pinned to it; the sweeping policies
     /// may register every handle on every shard. Always at least 1 (a queue
     /// cannot be built for zero processes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::Routing;
+    ///
+    /// // 8 handles over 3 shards: pinned counts 3, 3, 2 ...
+    /// assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 0), 3);
+    /// assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 2), 2);
+    /// // ... while sweeping policies may register every handle anywhere.
+    /// assert_eq!(Routing::Rendezvous.shard_capacity(8, 3, 2), 8);
+    /// ```
     #[must_use]
     pub fn shard_capacity(self, max_handles: usize, num_shards: usize, shard: usize) -> usize {
         let cap = match self {
@@ -234,6 +246,16 @@ impl Routing {
 
     /// Whether this policy preserves per-producer FIFO order on the
     /// composite (values of one producer are consumed in enqueue order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::Routing;
+    ///
+    /// assert!(Routing::PerProducer.preserves_producer_fifo());
+    /// assert!(Routing::Rendezvous.preserves_producer_fifo());
+    /// assert!(!Routing::RoundRobin.preserves_producer_fifo());
+    /// ```
     #[must_use]
     pub fn preserves_producer_fifo(self) -> bool {
         !matches!(self, Routing::RoundRobin)
@@ -284,6 +306,19 @@ impl<Q: Shard> ShardedQueue<Q> {
     ///
     /// Panics if `num_shards` or `max_handles` is zero, or if a produced
     /// shard reports less capacity than required.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedQueue};
+    ///
+    /// // Custom shards: each gets exactly the capacity routing demands.
+    /// let q = ShardedQueue::build(2, 4, Routing::PerProducer, |cap| {
+    ///     wfqueue::unbounded::Queue::<u64>::new(cap)
+    /// });
+    /// assert_eq!(q.num_shards(), 2);
+    /// assert_eq!(q.shards()[0].num_processes(), 2, "⌈4/2⌉ pinned handles");
+    /// ```
     pub fn build(
         num_shards: usize,
         max_handles: usize,
@@ -404,6 +439,15 @@ impl<T: Clone + Send + Sync> ShardedUnbounded<T> {
     /// # Panics
     ///
     /// Panics if `num_shards` or `max_handles` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::new(4, 8, Routing::Rendezvous);
+    /// assert_eq!((q.num_shards(), q.max_handles()), (4, 8));
+    /// ```
     #[must_use]
     pub fn new(num_shards: usize, max_handles: usize, routing: Routing) -> Self {
         Self::build(num_shards, max_handles, routing, unbounded::Queue::new)
@@ -471,6 +515,17 @@ impl<T: Clone + Send + Sync, F: bounded::StoreFamily> ShardedBounded<T, F> {
     /// # Panics
     ///
     /// Panics if `num_shards` or `max_handles` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedBounded};
+    ///
+    /// let q: ShardedBounded<u64> = ShardedBounded::with_gc_period(2, 2, 8, Routing::PerProducer);
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue(5);
+    /// assert_eq!(h.dequeue(), Some(5));
+    /// ```
     #[must_use]
     pub fn with_gc_period(
         num_shards: usize,
@@ -576,6 +631,17 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
     }
 
     /// Appends `value` to the shard selected by the routing policy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 1, Routing::PerProducer);
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue(1); // lands on this handle's pinned shard
+    /// assert_eq!(q.approx_len(), 1);
+    /// ```
     pub fn enqueue(&mut self, value: Q::Item) {
         let s = self.enqueue_shard();
         self.shard(s).enqueue(value);

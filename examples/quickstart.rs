@@ -1,58 +1,61 @@
-//! Quickstart: share a wait-free queue between producer and consumer
-//! threads.
+//! Quickstart: the channel facade over the wait-free queue.
+//!
+//! `wfqueue_channel::unbounded()` is the first entry point a service
+//! should reach for: `Sender`/`Receiver` pairs in the `std::sync::mpsc`
+//! mould, with every enqueue and dequeue served by the paper's wait-free
+//! polylogarithmic queue underneath. Consumers *park* while the channel
+//! is empty (no spinning), and the worker loop ends by itself when the
+//! producers are done — `Drop`-driven disconnect.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use wfqueue::unbounded::Queue;
+use wfqueue_channel as channel;
 
 fn main() {
-    // A queue for 5 processes: 2 producers + 2 consumers + the main thread.
-    // Each gets its own handle (its leaf of the ordering tree).
-    let queue: Queue<u64> = Queue::new(5);
-    let mut handles = queue.handles();
-    let mut main_handle = handles.remove(0);
+    let (tx, rx) = channel::unbounded::<u64>();
 
     let per_producer = 10_000u64;
-    let total = 2 * per_producer;
+    let producers = 2u64;
+    let consumers = 2usize;
+
+    // Clone endpoints up front (each owns one leaf of the ordering tree);
+    // move them into the threads so the last producer's drop disconnects.
+    let txs = [tx.try_clone().unwrap(), tx];
+    let rxs = [rx.try_clone().unwrap(), rx];
 
     let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
-        // Producers.
-        for producer in 0..2u64 {
-            let mut h = handles.remove(0);
+        for (p, mut tx) in txs.into_iter().enumerate() {
             s.spawn(move || {
                 for i in 0..per_producer {
-                    h.enqueue(producer * per_producer + i);
+                    // `send` on an unbounded channel never blocks; the
+                    // enqueue itself is wait-free: O(log p) steps, no
+                    // matter what the other threads are doing.
+                    tx.send(p as u64 * per_producer + i).unwrap();
                 }
             });
         }
-        // Consumers.
-        let joins: Vec<_> = (0..2)
-            .map(|_| {
-                let mut h = handles.remove(0);
-                s.spawn(move || {
-                    let mut got = Vec::new();
-                    while (got.len() as u64) < per_producer {
-                        if let Some(v) = h.dequeue() {
-                            got.push(v);
-                        }
-                    }
-                    got
-                })
-            })
+        // Each consumer is just a `for` loop: `recv` parks while empty
+        // and the iterator ends once the channel is drained and every
+        // sender is dropped.
+        let joins: Vec<_> = rxs
+            .into_iter()
+            .map(|rx| s.spawn(move || rx.into_iter().collect::<Vec<u64>>()))
             .collect();
         joins.into_iter().map(|j| j.join().unwrap()).collect()
     });
 
     let received: usize = consumed.iter().map(Vec::len).sum();
-    assert_eq!(received as u64, total);
-    println!("transferred {received} values through the wait-free queue");
+    assert_eq!(received as u64, producers * per_producer);
+    println!("transferred {received} values through the channel to {consumers} parked consumers");
 
-    // Every operation is wait-free: O(log p) steps per enqueue,
-    // O(log² p + log q) per dequeue — measure one:
-    let (_, steps) = wfqueue_metrics::measure(|| main_handle.enqueue(42));
+    // The try path is the raw wait-free operation (CAS parity asserted in
+    // tests/channel.rs) — measure one:
+    let (mut tx, mut rx) = channel::unbounded::<u64>();
+    let ((), steps) = wfqueue_metrics::measure(|| tx.try_send(42).unwrap());
     println!(
-        "one enqueue took {} shared-memory steps",
-        steps.memory_steps()
+        "one try_send took {} shared-memory steps ({} CAS)",
+        steps.memory_steps(),
+        steps.cas_total()
     );
-    assert_eq!(main_handle.dequeue(), Some(42));
+    assert_eq!(rx.try_recv(), Ok(42));
 }

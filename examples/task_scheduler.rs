@@ -1,19 +1,23 @@
 //! Task scheduler: the workload the paper's introduction motivates
-//! ("sharing resources or tasks") — a pool of workers pulls jobs from a
-//! shared wait-free queue with bounded space, so a burst of jobs cannot
-//! leave permanent garbage behind.
+//! ("sharing resources or tasks") — a worker pool behind the channel
+//! facade's **capacity-bounded** channel.
 //!
-//! Producers submit batches of "image tiles" to render; workers dequeue and
-//! process them. Because the queue is wait-free, a stalled worker never
-//! blocks submission, and every worker finishes each interaction with the
-//! queue in a bounded number of steps regardless of contention.
+//! Producers submit batches of "image tiles" with `send_all` (one leaf
+//! block per chunk — the PR 2 batch amortization) and get backpressure
+//! for free: `send_all` parks when more than `CAPACITY` tiles are in
+//! flight, so a burst of jobs can never balloon memory. Workers are
+//! plain `for job in rx` loops: they park while the channel is empty (no
+//! spin-waiting, unlike the raw-handle version of this example) and exit
+//! by themselves when the producers drop their senders — `Drop`-driven
+//! disconnect replaces the hand-rolled "done producing" flags. The queue
+//! operations underneath stay wait-free: a stalled worker never blocks
+//! submission, and space stays polynomial via the §6 backend's GC.
 //!
 //! Run with: `cargo run --release --example task_scheduler`
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use wfqueue::bounded::Queue;
+use wfqueue_channel as channel;
 
 /// A unit of work: pretend to render a tile by hashing its coordinates.
 #[derive(Debug, Clone)]
@@ -31,73 +35,69 @@ fn render(tile: &Tile) -> u64 {
     x
 }
 
+const CAPACITY: usize = 512;
+
 fn main() {
     let producers = 2usize;
     let workers = 4usize;
     let jobs_per_producer = 40u32;
     let tiles_per_job = 256u32;
 
-    let queue: Queue<Tile> = Queue::new(producers + workers);
-    let mut handles = queue.handles();
-    let produced = Arc::new(AtomicU64::new(0));
-    let rendered = Arc::new(AtomicU64::new(0));
-    let checksum = Arc::new(AtomicU64::new(0));
-    let done_producing = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = channel::bounded_with::<Tile>(channel::BoundedConfig {
+        capacity: CAPACITY,
+        endpoints: channel::Endpoints {
+            senders: producers,
+            receivers: workers,
+        },
+        gc_period: None,
+    });
+
+    let rendered = AtomicU64::new(0);
+    let checksum = AtomicU64::new(0);
+
+    let mut txs: Vec<_> = (1..producers).map(|_| tx.try_clone().unwrap()).collect();
+    txs.push(tx);
+    let mut rxs: Vec<_> = (1..workers).map(|_| rx.try_clone().unwrap()).collect();
+    rxs.push(rx);
 
     std::thread::scope(|s| {
-        for p in 0..producers {
-            let mut h = handles.remove(0);
-            let produced = Arc::clone(&produced);
-            let done = Arc::clone(&done_producing);
+        for (p, mut tx) in txs.into_iter().enumerate() {
             s.spawn(move || {
                 for job in 0..jobs_per_producer {
-                    for index in 0..tiles_per_job {
-                        h.enqueue(Tile {
-                            job: (p as u32) * jobs_per_producer + job,
-                            index,
-                        });
-                        produced.fetch_add(1, Ordering::Relaxed);
-                    }
+                    // One whole job per send_all: appended as atomic
+                    // leaf-block chunks, parking when the pool is more
+                    // than CAPACITY tiles behind (backpressure).
+                    tx.send_all((0..tiles_per_job).map(|index| Tile {
+                        job: (p as u32) * jobs_per_producer + job,
+                        index,
+                    }))
+                    .expect("workers outlive the producers");
                 }
-                done.fetch_add(1, Ordering::Relaxed);
+                // tx drops here; after the last producer finishes, the
+                // workers' loops below end on their own.
             });
         }
-        for _ in 0..workers {
-            let mut h = handles.remove(0);
-            let rendered = Arc::clone(&rendered);
-            let checksum = Arc::clone(&checksum);
-            let produced = Arc::clone(&produced);
-            let done = Arc::clone(&done_producing);
-            s.spawn(move || loop {
-                match h.dequeue() {
-                    Some(tile) => {
-                        checksum.fetch_xor(render(&tile), Ordering::Relaxed);
-                        rendered.fetch_add(1, Ordering::Relaxed);
-                    }
-                    None => {
-                        let all_produced = done.load(Ordering::Relaxed) == producers as u64;
-                        let all_rendered =
-                            rendered.load(Ordering::Relaxed) == produced.load(Ordering::Relaxed);
-                        if all_produced && all_rendered {
-                            return;
-                        }
-                        std::hint::spin_loop();
-                    }
+        for rx in rxs {
+            let rendered = &rendered;
+            let checksum = &checksum;
+            s.spawn(move || {
+                // The whole worker: park while empty, exit on disconnect.
+                for tile in rx {
+                    checksum.fetch_xor(render(&tile), Ordering::Relaxed);
+                    rendered.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
     });
 
-    let total = produced.load(Ordering::Relaxed);
+    let total = u64::from(jobs_per_producer) * u64::from(tiles_per_job) * producers as u64;
     assert_eq!(rendered.load(Ordering::Relaxed), total);
-    let stats = wfqueue::bounded::introspect::space_stats(&queue);
     println!(
         "rendered {total} tiles across {workers} workers (checksum {:#018x})",
         checksum.load(Ordering::Relaxed)
     );
     println!(
-        "queue space after the burst: {} live blocks (max/node {}, tree depth {}) — bounded by GC, \
-         not by the {total}-operation history",
-        stats.total_blocks, stats.max_node_blocks, stats.max_tree_depth
+        "backpressure: at most {CAPACITY} tiles were ever in flight, and the workers \
+         parked instead of spinning while waiting for work"
     );
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Records the E13-channel overhead + wakeup-latency series as
+# BENCH_e13.json so the perf trajectory accumulates across PRs. Run from
+# the repo root:
+#
+#   scripts/bench_e13.sh            # writes ./BENCH_e13.json
+#   scripts/bench_e13.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e13.json}"
+
+cargo bench --bench e13_channel -- --json > "$out"
+echo "wrote $out:"
+head -n 6 "$out"

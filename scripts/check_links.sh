@@ -13,8 +13,8 @@ cd "$(dirname "$0")/.."
 
 files=("$@")
 if [ ${#files[@]} -eq 0 ]; then
-  files=(README.md DESIGN.md EXPERIMENTS.md MAP.md PAPER.md PAPERS.md \
-         ROADMAP.md SNIPPETS.md CHANGES.md vendor/README.md)
+  files=(README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md MAP.md PAPER.md \
+         PAPERS.md ROADMAP.md SNIPPETS.md CHANGES.md vendor/README.md)
 fi
 
 python3 - "${files[@]}" <<'PY'
