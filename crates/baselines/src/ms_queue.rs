@@ -8,7 +8,7 @@
 //! compared head-to-head with the wait-free queue.
 
 use std::mem::MaybeUninit;
-use std::sync::atomic::Ordering;
+use wfqueue_sync::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use crossbeam_utils::CachePadded;
@@ -74,14 +74,20 @@ impl<T> MsQueue<T> {
         });
         loop {
             metrics::record_shared_load();
+            // ORDERING: the baseline reproduces MS98 verbatim under SC —
+            // every load/CAS here stays SeqCst so the step-complexity
+            // comparison is not confounded by ordering tricks the
+            // original algorithm does not describe.
             let tail = self.tail.load(Ordering::SeqCst, guard);
             // SAFETY: `tail` is never null and nodes are reclaimed only
             // after being unlinked, under the epoch guard.
             let tail_ref = unsafe { tail.deref() };
             metrics::record_shared_load();
+            // ORDERING: SC per the baseline policy above.
             let next = tail_ref.next.load(Ordering::SeqCst, guard);
             if !next.is_null() {
                 // Tail is lagging: help swing it forward, then retry.
+                // ORDERING: SC per the baseline policy above.
                 let r = self.tail.compare_exchange(
                     tail,
                     next,
@@ -95,6 +101,7 @@ impl<T> MsQueue<T> {
             // Race window: tail was read above; an adversarial scheduler
             // preempts here so a rival's CAS wins (the CAS retry problem).
             metrics::adversary_yield();
+            // ORDERING: SC per the baseline policy above.
             match tail_ref.next.compare_exchange(
                 Shared::null(),
                 node,
@@ -105,6 +112,7 @@ impl<T> MsQueue<T> {
                 Ok(new) => {
                     metrics::record_cas(true);
                     // Swing the tail; failure is fine (someone helped).
+                    // ORDERING: SC per the baseline policy above.
                     let r = self.tail.compare_exchange(
                         tail,
                         new,
@@ -128,18 +136,22 @@ impl<T> MsQueue<T> {
         let guard = &epoch::pin();
         loop {
             metrics::record_shared_load();
+            // ORDERING: SC throughout, same baseline policy as enqueue.
             let head = self.head.load(Ordering::SeqCst, guard);
             // SAFETY: `head` is never null; protected by `guard`.
             let head_ref = unsafe { head.deref() };
             metrics::record_shared_load();
+            // ORDERING: SC per the baseline policy.
             let next = head_ref.next.load(Ordering::SeqCst, guard);
             if next.is_null() {
                 return None;
             }
             metrics::record_shared_load();
+            // ORDERING: SC per the baseline policy.
             let tail = self.tail.load(Ordering::SeqCst, guard);
             if head == tail {
                 // Tail lagging behind a non-empty list: help it forward.
+                // ORDERING: SC per the baseline policy.
                 let r = self.tail.compare_exchange(
                     tail,
                     next,
@@ -151,6 +163,7 @@ impl<T> MsQueue<T> {
             }
             // Race window symmetric to enqueue's (see above).
             metrics::adversary_yield();
+            // ORDERING: SC per the baseline policy.
             match self
                 .head
                 .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst, guard)
@@ -176,8 +189,11 @@ impl<T> MsQueue<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         let guard = &epoch::pin();
+        // ORDERING: SC per the baseline policy (is_empty is part of the
+        // measured surface).
         let head = self.head.load(Ordering::SeqCst, guard);
         // SAFETY: head is never null; guard-protected.
+        // ORDERING: SC per the baseline policy.
         let next = unsafe { head.deref() }.next.load(Ordering::SeqCst, guard);
         next.is_null()
     }
@@ -246,7 +262,7 @@ mod tests {
 
     #[test]
     fn drop_with_remaining_values() {
-        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        static DROPS: wfqueue_sync::atomic::AtomicUsize = wfqueue_sync::atomic::AtomicUsize::new(0);
         struct D;
         impl Drop for D {
             fn drop(&mut self) {
@@ -268,7 +284,7 @@ mod tests {
         let q = Arc::new(MsQueue::new());
         let threads = 8;
         let per_thread = 5_000u64;
-        let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
             for t in 0..threads as u64 {
                 let q = Arc::clone(&q);
                 s.spawn(move || {

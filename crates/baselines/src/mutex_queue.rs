@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn concurrent_smoke() {
         let q = std::sync::Arc::new(MutexQueue::new());
-        std::thread::scope(|s| {
+        wfqueue_sync::thread::scope(|s| {
             for t in 0..4u64 {
                 let q = q.clone();
                 s.spawn(move || {

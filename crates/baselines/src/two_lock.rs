@@ -139,7 +139,7 @@ mod tests {
     fn concurrent_producers_consumers() {
         let q = Arc::new(TwoLockQueue::new());
         let total = 4 * 5_000u64;
-        let consumed: Vec<u64> = std::thread::scope(|s| {
+        let consumed: Vec<u64> = wfqueue_sync::thread::scope(|s| {
             for t in 0..4u64 {
                 let q = Arc::clone(&q);
                 s.spawn(move || {

@@ -74,7 +74,7 @@ fn churn<H: Send>(
     assert_eq!(handles.len(), THREADS);
     let barrier = Barrier::new(THREADS);
     let mut checkpoints = Vec::with_capacity(CHECKPOINTS);
-    std::thread::scope(|s| {
+    wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
             .enumerate()

@@ -98,7 +98,7 @@ fn measure_wakeup_latency() -> Latency {
         },
         reclaim: ReclaimPolicy::EveryKRootBlocks(64),
     });
-    let consumer = std::thread::spawn(move || {
+    let consumer = wfqueue_sync::thread::spawn(move || {
         let mut samples = Vec::with_capacity(LATENCY_SAMPLES);
         while samples.len() < LATENCY_SAMPLES {
             match rx.recv() {
@@ -112,7 +112,7 @@ fn measure_wakeup_latency() -> Latency {
         tx.send(Instant::now()).expect("consumer is alive");
         // Pace the producer so the consumer drains and parks again
         // between samples — each send then exercises a real wakeup.
-        std::thread::sleep(Duration::from_micros(200));
+        wfqueue_sync::thread::sleep(Duration::from_micros(200));
     }
     drop(tx);
     let mut samples = consumer.join().expect("consumer thread");

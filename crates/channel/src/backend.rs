@@ -62,14 +62,19 @@ impl<T: Clone + Send + Sync + 'static> Backend<T> {
     pub(crate) unsafe fn register(self_arc: &Arc<crate::Shared<T>>) -> Option<RawHandle<T>> {
         match &self_arc.backend {
             Backend::Unbounded(q) => {
+                // SAFETY: lifetime extension only; the caller's contract
+                // (# Safety above) keeps the backend alive and in place
+                // for the handle's whole life.
                 let q: &'static unbounded::Queue<T> = unsafe { &*std::ptr::from_ref(q) };
                 q.register().map(RawHandle::Unbounded)
             }
             Backend::SpaceBounded(q) => {
+                // SAFETY: as above.
                 let q: &'static bounded::Queue<T> = unsafe { &*std::ptr::from_ref(q) };
                 q.register().map(RawHandle::SpaceBounded)
             }
             Backend::Sharded(q) => {
+                // SAFETY: as above.
                 let q: &'static ShardedUnbounded<T> = unsafe { &*std::ptr::from_ref(q) };
                 q.try_handle().map(RawHandle::Sharded)
             }

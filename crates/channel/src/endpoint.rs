@@ -7,9 +7,9 @@
 //! ordering tree) alongside an `Arc` of the state.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::backend::{Backend, RawHandle};
 use crate::error::{
@@ -107,6 +107,9 @@ impl<T: Clone + Send + Sync + 'static> Shared<T> {
         // `Backend::register`.
         let raw = unsafe { Backend::register(self_arc) }
             .expect("backend sized to the endpoint budget at construction");
+        // ORDERING: endpoint counters participate in the disconnect
+        // Dekker handshake with `Signal` (count write vs. count read on
+        // the other side); SC keeps the handshake total-ordered.
         self_arc.senders.fetch_add(1, Ordering::SeqCst);
         Ok(Sender {
             raw,
@@ -119,6 +122,7 @@ impl<T: Clone + Send + Sync + 'static> Shared<T> {
         // SAFETY: as in `new_sender`.
         let raw = unsafe { Backend::register(self_arc) }
             .expect("backend sized to the endpoint budget at construction");
+        // ORDERING: as in `new_sender`.
         self_arc.receivers.fetch_add(1, Ordering::SeqCst);
         Ok(Receiver {
             raw,
@@ -134,12 +138,20 @@ impl<T: Clone + Send + Sync + 'static> Shared<T> {
             return true;
         };
         wfqueue_metrics::record_shared_load();
+        // ORDERING: SC read starts the reservation; together with the SC
+        // CAS below it keeps the gate in one total order with release's
+        // SC decrement, so a successful reservation acquires the previous
+        // occupant's cleanup. `tests/model.rs` (gate scenario) checks the
+        // bound and the handoff exhaustively.
         let mut len = self.len.load(Ordering::SeqCst);
         loop {
             if len + n > cap {
                 return false;
             }
             wfqueue_metrics::adversary_yield();
+            // ORDERING: SC success so a CAS landing directly on release's
+            // decrement still acquires it — weakening this is the seeded
+            // gate mutation `tests/checker_power.rs` detects.
             match self
                 .len
                 .compare_exchange_weak(len, len + n, Ordering::SeqCst, Ordering::SeqCst)
@@ -164,6 +176,7 @@ impl<T: Clone + Send + Sync + 'static> Shared<T> {
             // (same accounting as the shard crate's rendezvous ticket).
             wfqueue_metrics::record_shared_load();
             wfqueue_metrics::record_shared_store();
+            // ORDERING: SC release of the slot; pairs with try_reserve.
             self.len.fetch_sub(n, Ordering::SeqCst);
             self.not_full.notify();
         }
@@ -227,6 +240,9 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
     /// ```
     pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
         wfqueue_metrics::record_shared_load();
+        // ORDERING: SC disconnect check — ordered against the receiver
+        // drop's SC decrement so a send after the last receiver's drop
+        // reliably errors rather than stranding a value.
         if self.shared.receivers.load(Ordering::SeqCst) == 0 {
             return Err(TrySendError::Disconnected(value));
         }
@@ -310,6 +326,7 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
         let mut rest: Vec<T> = values.into_iter().collect();
         while !rest.is_empty() {
             wfqueue_metrics::record_shared_load();
+            // ORDERING: SC disconnect check, as in `try_send`.
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(rest));
             }
@@ -325,6 +342,9 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
                     break;
                 }
                 wfqueue_metrics::record_shared_load();
+                // ORDERING: the post-listen re-check of the Signal
+                // protocol; SC so the parked sender cannot miss the last
+                // receiver's departure (no lost disconnect wakeup).
                 if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                     self.shared.not_full.cancel(key);
                     return Err(SendError(rest));
@@ -377,6 +397,7 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
             return Ok(());
         }
         wfqueue_metrics::record_shared_load();
+        // ORDERING: SC disconnect check, as in `try_send`.
         if self.shared.receivers.load(Ordering::SeqCst) == 0 {
             return Err(TrySendError::Disconnected(values));
         }
@@ -426,6 +447,8 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
     /// Whether every receiver has been dropped (sends would fail).
     #[must_use]
     pub fn is_disconnected(&self) -> bool {
+        // ORDERING: SC so the answer is consistent with the send paths'
+        // disconnect checks (one total order over the counter).
         self.shared.receivers.load(Ordering::SeqCst) == 0
     }
 
@@ -469,6 +492,9 @@ impl<T: Clone + Send + Sync + 'static> Clone for Sender<T> {
 
 impl<T: Clone + Send + Sync + 'static> Drop for Sender<T> {
     fn drop(&mut self) {
+        // ORDERING: SC decrement is the "state write" half of the
+        // disconnect handshake: it must be ordered before notify's fence
+        // + `waiters` read so a parked receiver is woken to observe it.
         if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last sender gone: wake every parked/async receiver so it can
             // observe the disconnect (after draining what was sent).
@@ -538,6 +564,9 @@ impl<T: Clone + Send + Sync + 'static> Receiver<T> {
             return Ok(value);
         }
         wfqueue_metrics::record_shared_load();
+        // ORDERING: SC disconnect check against the sender drop's SC
+        // decrement: Empty-vs-Disconnected must be decided *after* the
+        // queue poll that missed, or a racing drop strands a value.
         if self.shared.senders.load(Ordering::SeqCst) > 0 {
             return Err(TryRecvError::Empty);
         }
@@ -566,7 +595,7 @@ impl<T: Clone + Send + Sync + 'static> Receiver<T> {
     ///
     /// ```
     /// let (mut tx, mut rx) = wfqueue_channel::unbounded();
-    /// std::thread::spawn(move || tx.send(42).unwrap());
+    /// wfqueue_sync::thread::spawn(move || tx.send(42).unwrap());
     /// assert_eq!(rx.recv(), Ok(42)); // parks until the value arrives
     /// ```
     pub fn recv(&mut self) -> Result<T, RecvError> {
@@ -715,6 +744,7 @@ impl<T: Clone + Send + Sync + 'static> Receiver<T> {
     /// values to drain.
     #[must_use]
     pub fn is_disconnected(&self) -> bool {
+        // ORDERING: SC, consistent with `try_recv`'s disconnect check.
         self.shared.senders.load(Ordering::SeqCst) == 0
     }
 
@@ -758,6 +788,7 @@ impl<T: Clone + Send + Sync + 'static> Clone for Receiver<T> {
 
 impl<T: Clone + Send + Sync + 'static> Drop for Receiver<T> {
     fn drop(&mut self) {
+        // ORDERING: as in Sender's drop — the disconnect state write.
         if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last receiver gone: wake capacity-blocked/async senders so
             // they can observe the disconnect.
@@ -814,7 +845,7 @@ impl<T: Clone + Send + Sync + 'static> Iterator for IntoIter<T> {
 ///
 /// ```
 /// let (mut tx, rx) = wfqueue_channel::unbounded();
-/// std::thread::spawn(move || {
+/// wfqueue_sync::thread::spawn(move || {
 ///     for job in 0..3 {
 ///         tx.send(job).unwrap();
 ///     }
@@ -904,11 +935,11 @@ mod tests {
     fn blocking_send_unblocks_on_recv() {
         let (mut tx, mut rx) = bounded::<u32>(1);
         tx.send(1).unwrap();
-        let t = std::thread::spawn(move || {
+        let t = wfqueue_sync::thread::spawn(move || {
             tx.send(2).unwrap(); // parks until rx frees the slot
             tx
         });
-        std::thread::sleep(Duration::from_millis(20));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         assert_eq!(rx.recv(), Ok(1));
         let _tx = t.join().unwrap();
         assert_eq!(rx.recv(), Ok(2));
@@ -950,8 +981,8 @@ mod tests {
     #[test]
     fn blocked_receiver_wakes_on_disconnect() {
         let (tx, mut rx) = unbounded::<u32>();
-        let t = std::thread::spawn(move || rx.recv());
-        std::thread::sleep(Duration::from_millis(20));
+        let t = wfqueue_sync::thread::spawn(move || rx.recv());
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         drop(tx);
         assert_eq!(t.join().unwrap(), Err(RecvError));
     }
@@ -960,8 +991,8 @@ mod tests {
     fn blocked_sender_wakes_on_disconnect() {
         let (mut tx, rx) = bounded::<u32>(1);
         tx.send(1).unwrap();
-        let t = std::thread::spawn(move || tx.send(2));
-        std::thread::sleep(Duration::from_millis(20));
+        let t = wfqueue_sync::thread::spawn(move || tx.send(2));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         drop(rx); // the queued value 1 is dropped with the channel
         assert_eq!(t.join().unwrap(), Err(SendError(2)));
     }
@@ -985,7 +1016,7 @@ mod tests {
     #[test]
     fn batches_and_capacity_chunking() {
         let (mut tx, mut rx) = bounded::<u32>(3);
-        let t = std::thread::spawn(move || {
+        let t = wfqueue_sync::thread::spawn(move || {
             // 8 values through a capacity-3 channel: chunks of <= 3,
             // blocking between chunks until the receiver frees slots.
             tx.send_all(0..8).unwrap();
@@ -994,7 +1025,7 @@ mod tests {
         while got.len() < 8 {
             let batch = rx.recv_up_to(4);
             if batch.is_empty() {
-                std::thread::yield_now();
+                wfqueue_sync::thread::yield_now();
             }
             got.extend(batch);
         }
@@ -1027,7 +1058,7 @@ mod tests {
         let tx2 = tx.try_clone().unwrap();
         let rx2 = rx.try_clone().unwrap();
         let total = 2_000u64;
-        let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
             for (mut t, base) in [(tx, 0u64), (tx2, total)] {
                 s.spawn(move || {
                     for i in 0..total {

@@ -12,8 +12,8 @@ use std::future::Future;
 use std::pin::pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
-use std::thread::Thread;
 use std::time::{Duration, Instant};
+use wfqueue_sync::thread::Thread;
 
 /// Wakes the blocked thread by unparking it.
 struct ThreadWaker(Thread);
@@ -41,7 +41,7 @@ impl Wake for ThreadWaker {
 /// assert_eq!(block_on(rx.recv_async()), Ok(1));
 /// ```
 pub fn block_on<F: Future>(future: F) -> F::Output {
-    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let waker = Waker::from(Arc::new(ThreadWaker(wfqueue_sync::thread::current())));
     let mut cx = Context::from_waker(&waker);
     let mut future = pin!(future);
     loop {
@@ -49,7 +49,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
             Poll::Ready(output) => return output,
             // A wake between the poll and this park is not lost: the
             // unpark token is buffered and the park returns immediately.
-            Poll::Pending => std::thread::park(),
+            Poll::Pending => wfqueue_sync::thread::park(),
         }
     }
 }
@@ -72,7 +72,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
 /// ```
 pub fn block_on_timeout<F: Future>(future: F, timeout: Duration) -> Option<F::Output> {
     let deadline = Instant::now() + timeout;
-    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let waker = Waker::from(Arc::new(ThreadWaker(wfqueue_sync::thread::current())));
     let mut cx = Context::from_waker(&waker);
     let mut future = pin!(future);
     loop {
@@ -82,7 +82,7 @@ pub fn block_on_timeout<F: Future>(future: F, timeout: Duration) -> Option<F::Ou
                 let remaining = deadline
                     .checked_duration_since(Instant::now())
                     .filter(|d| !d.is_zero())?;
-                std::thread::park_timeout(remaining);
+                wfqueue_sync::thread::park_timeout(remaining);
             }
         }
     }

@@ -208,8 +208,8 @@ mod tests {
     #[test]
     fn async_recv_wakes_on_cross_thread_send() {
         let (mut tx, mut rx) = unbounded::<u32>();
-        let t = std::thread::spawn(move || block_on(rx.recv_async()));
-        std::thread::sleep(Duration::from_millis(20));
+        let t = wfqueue_sync::thread::spawn(move || block_on(rx.recv_async()));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         tx.send(9).unwrap();
         assert_eq!(t.join().unwrap(), Ok(9));
     }
@@ -218,11 +218,11 @@ mod tests {
     fn async_send_wakes_on_slot_release() {
         let (mut tx, mut rx) = bounded::<u32>(1);
         tx.send(1).unwrap();
-        let t = std::thread::spawn(move || {
+        let t = wfqueue_sync::thread::spawn(move || {
             block_on(tx.send_async(2)).unwrap();
             tx
         });
-        std::thread::sleep(Duration::from_millis(20));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         assert_eq!(rx.recv(), Ok(1));
         let _tx = t.join().unwrap();
         assert_eq!(rx.recv(), Ok(2));
@@ -242,8 +242,8 @@ mod tests {
     #[test]
     fn async_recv_wakes_on_disconnect() {
         let (tx, mut rx) = unbounded::<u32>();
-        let t = std::thread::spawn(move || block_on(rx.recv_async()));
-        std::thread::sleep(Duration::from_millis(20));
+        let t = wfqueue_sync::thread::spawn(move || block_on(rx.recv_async()));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
         drop(tx);
         assert_eq!(t.join().unwrap(), Err(RecvError));
     }

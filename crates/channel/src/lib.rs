@@ -83,7 +83,7 @@
 //!
 //! // A worker pool: each worker blocks on `recv` (no spinning), and the
 //! // loop ends when every sender is dropped and the channel drained.
-//! std::thread::scope(|s| {
+//! wfqueue_sync::thread::scope(|s| {
 //!     for worker in 0..2 {
 //!         let rx = rx.try_clone().unwrap();
 //!         s.spawn(move || {

@@ -26,9 +26,9 @@
 //! Blocking through a [`Signal`] is, of course, **not wait-free** — see
 //! the crate docs for where the wait-freedom boundary lies.
 
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+use wfqueue_sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// Proof that a waiter published itself: the epoch it observed.
 ///
@@ -64,9 +64,13 @@ impl Signal {
     /// before calling [`Signal::wait`]; that re-check is what closes the
     /// race against a notifier that ran before the publication.
     pub(crate) fn listen(&self) -> ListenKey {
-        // SeqCst RMW: the publication is ordered before the caller's
-        // subsequent re-check of the channel state.
+        // ORDERING: SeqCst RMW — the waiter's half of the Dekker
+        // handshake. The publication must be globally ordered before the
+        // caller's re-check of the channel state; see the module docs and
+        // the exhaustive check in `tests/model.rs` (signal scenarios).
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst snapshot so an epoch advanced by a concurrent
+        // notify is never observed out of order with the publication.
         ListenKey(self.epoch.load(Ordering::SeqCst))
     }
 
@@ -74,6 +78,8 @@ impl Signal {
     /// or the caller is giving up).
     pub(crate) fn cancel(&self, key: ListenKey) {
         let _ = key;
+        // ORDERING: SeqCst to stay in the same total order as listen's
+        // publication; a notifier either sees this withdrawal or wakes us.
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -84,6 +90,8 @@ impl Signal {
             .lock
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // ORDERING: SeqCst epoch read under the lock pairs with notify's
+        // locked epoch increment: no sleep once the epoch moved on.
         while self.epoch.load(Ordering::SeqCst) == key.0 {
             guard = self
                 .cv
@@ -91,6 +99,7 @@ impl Signal {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(guard);
+        // ORDERING: SeqCst withdrawal, mirroring cancel.
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -102,6 +111,7 @@ impl Signal {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let notified = loop {
+            // ORDERING: as in `wait` — locked SeqCst epoch read.
             if self.epoch.load(Ordering::SeqCst) != key.0 {
                 break true;
             }
@@ -119,6 +129,7 @@ impl Signal {
             guard = g;
         };
         drop(guard);
+        // ORDERING: SeqCst withdrawal, mirroring cancel.
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         notified
     }
@@ -128,11 +139,15 @@ impl Signal {
     /// load, recorded in the step counters; with nobody listening nothing
     /// else happens.
     pub(crate) fn notify(&self) {
-        // The notifier's state update (enqueue / slot release / counter
-        // drop) happened before this call; the fence orders it before the
-        // `waiters` read for the Dekker argument above.
+        // Dropping this fence is the seeded mutation that
+        // `tests/checker_power.rs` proves the model checker catches (a
+        // lost wakeup becomes a detected deadlock).
+        // ORDERING: the notifier's state update (enqueue / slot release /
+        // counter drop) happened before this call; the SeqCst fence orders
+        // it before the `waiters` read for the Dekker argument above.
         fence(Ordering::SeqCst);
         wfqueue_metrics::record_shared_load();
+        // ORDERING: SeqCst read — the second half of the fence pairing.
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -141,6 +156,8 @@ impl Signal {
                 .lock
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // ORDERING: SeqCst epoch advance under the lock; pairs with
+            // the locked reads in wait/wait_deadline.
             self.epoch.fetch_add(1, Ordering::SeqCst);
             self.cv.notify_all();
         }
@@ -168,6 +185,7 @@ impl Signal {
         let id = self.next_waker_id.fetch_add(1, Ordering::Relaxed);
         *slot = Some(id);
         wakers.push((id, waker.clone()));
+        // ORDERING: SeqCst publication, same Dekker role as listen's.
         self.waiters.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -182,6 +200,7 @@ impl Signal {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(pos) = wakers.iter().position(|(i, _)| *i == id) {
                 wakers.remove(pos);
+                // ORDERING: SeqCst withdrawal, mirroring cancel.
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -198,6 +217,7 @@ impl Signal {
             std::mem::take(&mut *wakers)
         };
         if !drained.is_empty() {
+            // ORDERING: SeqCst bulk withdrawal of the drained wakers.
             self.waiters.fetch_sub(drained.len(), Ordering::SeqCst);
             for (_, waker) in drained {
                 waker.wake();
@@ -209,18 +229,20 @@ impl Signal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
     use std::time::Duration;
+    use wfqueue_sync::atomic::AtomicBool;
 
     #[test]
     fn cancel_keeps_waiters_balanced() {
         let s = Signal::default();
         let key = s.listen();
         s.cancel(key);
+        // ORDERING: test-only assertions; SC keeps them trivially sound.
         assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
         // With no waiters, notify takes the fast path and changes nothing.
         s.notify();
+        // ORDERING: test-only assertion.
         assert_eq!(s.epoch.load(Ordering::SeqCst), 0);
     }
 
@@ -232,6 +254,7 @@ mod tests {
         // (waiters is 1, so the slow path is taken).
         s.notify();
         s.wait(key); // must not block
+                     // ORDERING: test-only assertion.
         assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
     }
 
@@ -241,6 +264,7 @@ mod tests {
         let key = s.listen();
         let woken = s.wait_deadline(key, Instant::now() + Duration::from_millis(10));
         assert!(!woken);
+        // ORDERING: test-only assertion.
         assert_eq!(s.waiters.load(Ordering::SeqCst), 0);
     }
 
@@ -249,18 +273,23 @@ mod tests {
         let s = Arc::new(Signal::default());
         let flag = Arc::new(AtomicBool::new(false));
         let (s2, flag2) = (Arc::clone(&s), Arc::clone(&flag));
-        let waiter = std::thread::spawn(move || loop {
+        let waiter = wfqueue_sync::thread::spawn(move || loop {
+            // ORDERING: the flag is the "channel state" of the Dekker
+            // handshake; SC on both sides closes the sleep/notify race.
             if flag2.load(Ordering::SeqCst) {
                 return;
             }
             let key = s2.listen();
+            // ORDERING: the post-listen re-check the protocol requires.
             if flag2.load(Ordering::SeqCst) {
                 s2.cancel(key);
                 return;
             }
             s2.wait(key);
         });
-        std::thread::sleep(Duration::from_millis(20));
+        wfqueue_sync::thread::sleep(Duration::from_millis(20));
+        // ORDERING: the notifier's state update; notify's fence orders it
+        // before the `waiters` read.
         flag.store(true, Ordering::SeqCst);
         s.notify();
         waiter.join().unwrap();

@@ -9,8 +9,8 @@
 //! [`wfqueue_pstore::PersistentOrderedMap`], selected by a
 //! [`StoreFamily`](super::store::StoreFamily).
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use wfqueue_sync::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use wfqueue_metrics as metrics;
@@ -47,6 +47,10 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Node<T, F> {
     /// Loads the current store version (one shared step).
     pub fn load<'g>(&self, guard: &'g Guard) -> TreeRef<'g, T, F> {
         metrics::record_shared_load();
+        // ORDERING: the paper's pseudocode assumes sequentially
+        // consistent shared memory; every tree-node load/CAS stays SC so
+        // the implementation matches the proof obligations line for line
+        // (relaxation is ROADMAP work, gated on the model checker).
         let shared = self.blocks.load(Ordering::SeqCst, guard);
         // SAFETY: the version is retired only after being replaced by a
         // successful CAS (see `try_publish`), and destruction is deferred
@@ -64,6 +68,7 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Node<T, F> {
         next: BlockTree<T, F>,
         guard: &'g Guard,
     ) -> bool {
+        // ORDERING: SC per the paper's SC-memory assumption (see `load`).
         match self.blocks.compare_exchange(
             current.shared,
             Owned::new(next),

@@ -1,8 +1,8 @@
 //! The bounded-space wait-free queue (Figures 5–6 of the paper).
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
@@ -193,6 +193,8 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
     /// Reads `last[k]` (one shared step).
     pub(crate) fn last_of(&self, k: usize) -> usize {
         metrics::record_shared_load();
+        // ORDERING: SC per the paper's SC-memory assumption (the `last`
+        // array is Figure 5 shared state).
         self.last[k].load(Ordering::SeqCst)
     }
 
@@ -201,6 +203,7 @@ impl<T: Clone + Send + Sync, F: StoreFamily> Queue<T, F> {
     pub(crate) fn raise_last(&self, pid: usize, value: usize) {
         if value > self.last_of(pid) {
             metrics::record_shared_store();
+            // ORDERING: SC per the paper's SC-memory assumption.
             self.last[pid].store(value, Ordering::SeqCst);
         }
     }

@@ -125,7 +125,7 @@ fn concurrent_no_loss_no_duplication_with_gc() {
     let per_thread = 1_000u64;
     let q: Queue<u64> = Queue::with_gc_period(threads, 16);
     let mut handles = q.handles();
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+    let results: Vec<(Vec<u64>, u64)> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = (0..threads)
             .map(|t| {
                 let mut h = handles.remove(0);
@@ -162,7 +162,7 @@ fn concurrent_no_loss_no_duplication_with_gc() {
 fn concurrent_per_producer_fifo_with_aggressive_gc() {
     let q: Queue<u64> = Queue::with_gc_period(4, 2);
     let mut handles = q.handles();
-    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
         let mut producers = Vec::new();
         for pid in 0..2 {
             let mut h = handles.remove(0);
@@ -232,11 +232,13 @@ fn dump_reports_tree_shapes() {
 
 #[test]
 fn values_with_drop_are_reclaimed() {
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use wfqueue_sync::atomic::{AtomicUsize, Ordering};
     static DROPS: AtomicUsize = AtomicUsize::new(0);
     #[derive(Clone)]
-    struct Tracked(#[allow(dead_code)] Arc<()>);
+    struct Tracked(
+        #[allow(dead_code, reason = "field exists only to count drops via the Arc")] Arc<()>,
+    );
     let q: Queue<Tracked> = Queue::with_gc_period(1, 4);
     let token = Arc::new(());
     {
@@ -369,7 +371,7 @@ mod avl_backed {
         let threads = 4usize;
         let q: AvlQueue<u64> = AvlQueue::with_gc_period(threads, 8);
         let mut handles = q.handles();
-        let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let results: Vec<(Vec<u64>, u64)> = wfqueue_sync::thread::scope(|s| {
             let joins: Vec<_> = (0..threads)
                 .map(|t| {
                     let mut h = handles.remove(0);
@@ -515,7 +517,7 @@ fn concurrent_batches_no_loss_no_duplication() {
     let threads = 4usize;
     let q: Queue<u64> = Queue::with_gc_period(threads, 8);
     let mut handles = q.handles();
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+    let results: Vec<(Vec<u64>, u64)> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = (0..threads)
             .map(|t| {
                 let mut h = handles.remove(0);

@@ -41,7 +41,7 @@
 //! let mut b = handles.pop().unwrap();
 //! let mut a = handles.pop().unwrap();
 //!
-//! std::thread::scope(|s| {
+//! wfqueue_sync::thread::scope(|s| {
 //!     s.spawn(move || {
 //!         for i in 0..100 {
 //!             a.enqueue(i);

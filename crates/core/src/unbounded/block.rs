@@ -1,7 +1,7 @@
 //! Blocks of the unbounded queue (Figure 3 of the paper, extended with
 //! batched leaf blocks).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use wfqueue_metrics as metrics;
 
@@ -154,6 +154,7 @@ impl<T> Block<T> {
             size: original.size,
             // Copy the raw value rather than going through `sup()`: this is
             // maintenance bookkeeping, not an algorithm step.
+            // ORDERING: SC per the paper's SC-memory assumption.
             sup: AtomicUsize::new(original.sup.load(Ordering::SeqCst)),
             summary: true,
             elements: Vec::new(),
@@ -163,6 +164,8 @@ impl<T> Block<T> {
     /// Reads the `super` field (one shared load). Returns `None` if unset.
     pub fn sup(&self) -> Option<usize> {
         metrics::record_shared_load();
+        // ORDERING: SC per the paper's SC-memory assumption (`super`
+        // field of Figure 4's block records).
         match self.sup.load(Ordering::SeqCst) {
             NIL => None,
             s => Some(s),
@@ -172,6 +175,7 @@ impl<T> Block<T> {
     /// CAS `super` from unset to `value` (Figure 4 line 61); counted as one
     /// CAS step. Loses silently if already set, as in the paper.
     pub fn try_set_sup(&self, value: usize) {
+        // ORDERING: SC per the paper's SC-memory assumption.
         let r = self
             .sup
             .compare_exchange(NIL, value, Ordering::SeqCst, Ordering::SeqCst);

@@ -1,6 +1,6 @@
 //! Ordering-tree nodes of the unbounded queue (Figure 3 of the paper).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use wfqueue_metrics as metrics;
@@ -51,6 +51,9 @@ impl<T> Node<T> {
     /// Reads `head` (one shared step).
     pub fn head(&self) -> usize {
         metrics::record_shared_load();
+        // ORDERING: SC per the paper's SC-memory assumption (`head` is
+        // Figure 4 shared state; relaxation is gated on the model
+        // checker per the ROADMAP).
         self.head.load(Ordering::SeqCst)
     }
 
@@ -58,6 +61,7 @@ impl<T> Node<T> {
     /// reclamation trigger, which is maintenance work outside the paper's
     /// step-count model.
     pub fn head_untracked(&self) -> usize {
+        // ORDERING: SC, as in `head` (same shared field).
         self.head.load(Ordering::SeqCst)
     }
 
@@ -78,6 +82,7 @@ impl<T> Node<T> {
 
     /// CAS `head` from `h` to `h + 1` (Figure 4 line 63); one CAS step.
     pub fn try_advance_head(&self, h: usize) {
+        // ORDERING: SC per the paper's SC-memory assumption.
         let r = self
             .head
             .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);

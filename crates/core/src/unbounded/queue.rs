@@ -1,7 +1,7 @@
 //! The unbounded-space wait-free queue (Figure 4 of the paper).
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use wfqueue_metrics as metrics;
 

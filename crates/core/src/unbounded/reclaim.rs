@@ -68,7 +68,7 @@
 //! per-operation overhead above is the *whole* measured cost of reclamation
 //! even for the unlucky operation that runs a truncation pass.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use wfqueue_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Guard, Pointer, Shared};
 use crossbeam_utils::CachePadded;
@@ -233,8 +233,15 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let hazard = &st.hazards[pid];
         loop {
             metrics::record_shared_load();
+            // ORDERING: the hazard handshake is a Dekker pattern — we
+            // write `hazard` then re-read `frontier`; the truncator
+            // writes `frontier` then reads `hazard`. SC on all four
+            // accesses guarantees one side sees the other; relaxing the
+            // hazard publication is a seeded mutation
+            // `tests/checker_power.rs` proves the model checker detects.
             let f = st.frontier.load(Ordering::SeqCst);
             metrics::record_shared_store();
+            // ORDERING: SC hazard publication (see above).
             hazard.store(f, Ordering::SeqCst);
             // Recheck: if the frontier moved between the read and the
             // publish, a concurrent truncator may have scanned hazards
@@ -242,6 +249,8 @@ impl<T: Clone + Send + Sync> Queue<T> {
             // (The truncator stores the frontier *before* scanning, so a
             // stable recheck proves the scan saw our hindex.)
             metrics::record_shared_load();
+            // ORDERING: SC recheck — the read half of the handshake;
+            // skipping it is the other seeded hazard mutation.
             if st.frontier.load(Ordering::SeqCst) == f {
                 return Some(OpGuard { guard, hindex: f });
             }
@@ -254,6 +263,8 @@ impl<T: Clone + Send + Sync> Queue<T> {
         let Some(op) = op else { return };
         let st = self.reclaim();
         metrics::record_shared_store();
+        // ORDERING: SC retirement of the hazard so a concurrent scan
+        // either sees the held index or everything the op did before.
         st.hazards[pid].store(IDLE, Ordering::SeqCst);
         self.maybe_reclaim(&op.guard);
         // Dropping the guard unpins; deferred frees may run here.
@@ -374,6 +385,9 @@ impl<T: Clone + Send + Sync> Queue<T> {
         };
         // Publish intent (monotone) BEFORE scanning hazards, so the
         // publish-then-recheck in `begin_op` serializes against this scan.
+        // ORDERING: SC read/store — the truncator's write half of the
+        // Dekker handshake described in `begin_op`; `tests/model.rs`
+        // (hazard scenario) checks every interleaving of the two.
         let cur = st.frontier.load(Ordering::SeqCst);
         let f_intent = f_live.max(cur);
         if f_intent > cur {
@@ -384,6 +398,8 @@ impl<T: Clone + Send + Sync> Queue<T> {
         // hindex's boundary summary).
         let mut f_final = f_intent;
         for hazard in &st.hazards {
+            // ORDERING: SC hazard scan — the read half; must not be
+            // reordered before the frontier publication above.
             let h = hazard.load(Ordering::SeqCst);
             if h != IDLE {
                 f_final = f_final.min(h);

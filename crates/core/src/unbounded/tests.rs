@@ -115,7 +115,7 @@ fn registration_is_race_free_under_contention() {
     // Exactly `cap` of the competing threads may win a handle, with
     // distinct pids, no matter how many race.
     let q: Queue<u8> = Queue::new(4);
-    let won: Vec<usize> = std::thread::scope(|s| {
+    let won: Vec<usize> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = (0..16)
             .map(|_| s.spawn(|| q.register().map(|h| h.process_id())))
             .collect();
@@ -208,7 +208,7 @@ fn concurrent_no_loss_no_duplication() {
     let per_producer = 2_000u64;
     let q: Queue<u64> = Queue::new(producers + consumers);
     let mut handles = q.handles();
-    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
         let mut producer_handles = Vec::new();
         for pid in 0..producers {
             let mut h = handles.remove(0);
@@ -276,7 +276,7 @@ fn concurrent_drain_recovers_every_value() {
     let per_thread = 1_500u64;
     let q: Queue<u64> = Queue::new(threads);
     let mut handles = q.handles();
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+    let results: Vec<(Vec<u64>, u64)> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = (0..threads)
             .map(|t| {
                 let mut h = handles.remove(0);

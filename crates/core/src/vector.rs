@@ -222,7 +222,7 @@ mod tests {
         let per_thread = 500u64;
         let v: WfVector<u64> = WfVector::new(threads);
         let mut handles = v.handles();
-        let all_positions: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+        let all_positions: Vec<Vec<(usize, u64)>> = wfqueue_sync::thread::scope(|s| {
             let joins: Vec<_> = (0..threads as u64)
                 .map(|t| {
                     let mut h = handles.remove(0);

@@ -10,8 +10,8 @@
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
+use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
 use crate::queue_api::{CapacityError, ConcurrentQueue, QueueHandle};
 use crate::rng::SplitMix64;
@@ -74,7 +74,7 @@ pub fn try_record_history<Q: ConcurrentQueue<u32>>(
     let clock = AtomicU64::new(0);
     let barrier = Barrier::new(threads);
     let handles: Vec<Q::Handle<'_>> = queue.try_handles(threads)?;
-    let per_thread: Vec<Vec<Event>> = std::thread::scope(|s| {
+    let per_thread: Vec<Vec<Event>> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
             .enumerate()
@@ -87,6 +87,11 @@ pub fn try_record_history<Q: ConcurrentQueue<u32>>(
                     barrier.wait();
                     for seq in 0..ops_per_thread {
                         let is_enq = rng.chance_permille(enqueue_permille);
+                        // ORDERING: the logical clock must totally order
+                        // invoke/return stamps across threads — SC RMWs
+                        // give exactly that; anything weaker would let
+                        // the history builder derive a bogus partial
+                        // order and report false linearizability verdicts.
                         let invoke = clock.fetch_add(1, Ordering::SeqCst);
                         let op = if is_enq {
                             let value = ((tid as u32) << 16) | seq as u32;
@@ -95,6 +100,7 @@ pub fn try_record_history<Q: ConcurrentQueue<u32>>(
                         } else {
                             Op::Dequeue(handle.dequeue())
                         };
+                        // ORDERING: SC return stamp (see above).
                         let ret = clock.fetch_add(1, Ordering::SeqCst);
                         events.push(Event { invoke, ret, op });
                     }
@@ -156,7 +162,7 @@ pub fn try_record_batch_history<Q: ConcurrentQueue<u32>>(
     let clock = AtomicU64::new(0);
     let barrier = Barrier::new(threads);
     let handles: Vec<Q::Handle<'_>> = queue.try_handles(threads)?;
-    let per_thread: Vec<Vec<Event>> = std::thread::scope(|s| {
+    let per_thread: Vec<Vec<Event>> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
             .enumerate()
@@ -169,6 +175,8 @@ pub fn try_record_batch_history<Q: ConcurrentQueue<u32>>(
                     barrier.wait();
                     for batch in 0..batches_per_thread {
                         let is_enq = rng.chance_permille(enqueue_permille);
+                        // ORDERING: SC logical-clock stamp, as in
+                        // `run_lincheck` above.
                         let invoke = clock.fetch_add(1, Ordering::SeqCst);
                         let ops: Vec<Op> = if is_enq {
                             let values: Vec<u32> = (0..batch_size)
@@ -183,6 +191,7 @@ pub fn try_record_batch_history<Q: ConcurrentQueue<u32>>(
                                 .map(Op::Dequeue)
                                 .collect()
                         };
+                        // ORDERING: SC return stamp (see above).
                         let ret = clock.fetch_add(1, Ordering::SeqCst);
                         events.extend(ops.into_iter().map(|op| Event { invoke, ret, op }));
                     }

@@ -11,9 +11,9 @@
 //! `(producer, sequence)` tags, so each thread checks per-producer FIFO
 //! order, and the runner checks no value is lost or duplicated.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
+use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
 use crate::queue_api::{CapacityError, ConcurrentQueue, QueueHandle};
 use crate::rng::SplitMix64;
@@ -179,7 +179,7 @@ pub fn try_run_workload<Q: ConcurrentQueue<u64>>(
     }
 
     let start = Instant::now();
-    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+    let outcomes: Vec<ThreadOutcome> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
             .enumerate()
@@ -431,7 +431,7 @@ pub fn try_run_batch_workload<Q: ConcurrentQueue<u64>>(
     }
 
     let start = Instant::now();
-    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+    let outcomes: Vec<ThreadOutcome> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
             .enumerate()

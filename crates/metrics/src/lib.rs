@@ -35,7 +35,7 @@
 use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
-use std::sync::atomic::{AtomicBool, Ordering};
+use wfqueue_sync::atomic::{AtomicBool, Ordering};
 
 /// Global switch for the adversarial scheduler (see [`adversary_yield`]).
 static ADVERSARY: AtomicBool = AtomicBool::new(false);
@@ -53,6 +53,8 @@ static ADVERSARY: AtomicBool = AtomicBool::new(false);
 /// code is immune by construction — a lost CAS never causes a retry — which
 /// is exactly the separation being measured.
 pub fn set_adversary(enabled: bool) {
+    // ORDERING: SC so a toggle is immediately visible to every worker a
+    // test is about to spawn; this is a test-harness knob, not a hot path.
     ADVERSARY.store(enabled, Ordering::SeqCst);
 }
 
@@ -67,7 +69,7 @@ pub fn adversary_enabled() -> bool {
 #[inline]
 pub fn adversary_yield() {
     if ADVERSARY.load(Ordering::Relaxed) {
-        std::thread::yield_now();
+        wfqueue_sync::thread::yield_now();
     }
 }
 
@@ -363,7 +365,7 @@ mod tests {
     #[test]
     fn counters_are_thread_local() {
         let (_, d) = measure(|| {
-            std::thread::spawn(|| {
+            wfqueue_sync::thread::spawn(|| {
                 record_shared_load();
                 record_shared_load();
             })

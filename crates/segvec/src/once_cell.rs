@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use wfqueue_sync::atomic::{AtomicPtr, Ordering};
 
 use wfqueue_metrics as metrics;
 
@@ -61,6 +61,10 @@ impl<T> AtomicOnceCell<T> {
     /// ```
     pub fn set(&self, value: T) -> Result<(), T> {
         let raw = Box::into_raw(Box::new(value));
+        // ORDERING: SC publication CAS — winners publish the fully
+        // initialised box, losers must observe it to free their own;
+        // Release/Acquire would suffice, kept SC pending the ROADMAP
+        // relaxation pass so the whole segvec layer moves together.
         match self
             .ptr
             .compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst)
@@ -93,6 +97,7 @@ impl<T> AtomicOnceCell<T> {
     #[must_use]
     pub fn get(&self) -> Option<&T> {
         metrics::record_shared_load();
+        // ORDERING: SC read pairing with the publication CAS above.
         let raw = self.ptr.load(Ordering::SeqCst);
         if raw.is_null() {
             None
@@ -139,8 +144,8 @@ impl<T> Drop for AtomicOnceCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+    use wfqueue_sync::atomic::AtomicUsize;
 
     #[test]
     fn set_once_then_reject() {
@@ -176,7 +181,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let c = Arc::clone(&c);
-                std::thread::spawn(move || c.set(t).is_ok())
+                wfqueue_sync::thread::spawn(move || c.set(t).is_ok())
             })
             .collect();
         let wins = handles

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use wfqueue_sync::atomic::{AtomicPtr, Ordering};
 
 use wfqueue_metrics as metrics;
 
@@ -157,6 +157,10 @@ impl<T> SegVec<T> {
         // (see `segment_or_alloc`); `off < BASE << seg` by `locate`.
         let slot = unsafe { &*segment.add(off) };
         let raw = Box::into_raw(value);
+        // ORDERING: SC publication CAS of the boxed value; readers'
+        // SC loads then see the pointee fully initialised. SC (rather
+        // than Release/Acquire) keeps the segvec layer uniform until
+        // the ROADMAP relaxation pass.
         match slot.compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => {
                 metrics::record_cas(true);
@@ -196,6 +200,8 @@ impl<T> SegVec<T> {
         // SAFETY: a non-null directory entry points to a live array of
         // `BASE << seg` slots (see `get`).
         let slot = unsafe { &*seg_ptr.add(off) };
+        // ORDERING: SC swap — takes unique ownership of the boxed value
+        // and synchronizes with its publication.
         let old = slot.swap(ptr::null_mut(), Ordering::SeqCst);
         if old.is_null() {
             None
@@ -219,6 +225,8 @@ impl<T> SegVec<T> {
         // SAFETY: `segment` points to a live array of `BASE << seg` slots;
         // `off < BASE << seg` by `locate`.
         let slot = unsafe { &*segment.add(off) };
+        // ORDERING: SC swap — publishes the new box and takes unique
+        // ownership of the old one in a single RMW.
         let old = slot.swap(Box::into_raw(value), Ordering::SeqCst);
         if old.is_null() {
             None
@@ -318,8 +326,8 @@ impl<T> Drop for SegVec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+    use wfqueue_sync::atomic::AtomicUsize;
 
     #[test]
     fn locate_covers_consecutive_indices() {
@@ -419,7 +427,7 @@ mod tests {
         let winners: Vec<_> = (0..threads)
             .map(|t| {
                 let v = Arc::clone(&v);
-                std::thread::spawn(move || {
+                wfqueue_sync::thread::spawn(move || {
                     let mut won = 0;
                     for i in 0..slots {
                         if v.try_install(i, Box::new(t)).is_ok() {

@@ -48,7 +48,7 @@
 #![deny(missing_docs)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use wfqueue::bounded;
 use wfqueue::unbounded;

@@ -1,0 +1,73 @@
+//! The workspace's one doorway to atomics and threads — and, under
+//! `feature = "model"`, to an exhaustive interleaving model checker.
+//!
+//! Every first-party crate in this repository performs its shared-memory
+//! accesses through this facade instead of `std::sync::atomic` /
+//! `std::thread` (the `cargo lint` xtask enforces it). Two things follow:
+//!
+//! 1. **In production builds the facade is free.** Every method is an
+//!    `#[inline]` newtype passthrough to the corresponding
+//!    [`std::sync::atomic`] operation; with the default feature set the
+//!    generated code is instruction-for-instruction what the raw types
+//!    produce.
+//! 2. **In verification builds the facade is a probe.** With
+//!    `feature = "model"` enabled, an atomic operation executed *inside a
+//!    [`model::explore`] run* is routed through a modeled memory system
+//!    that tracks happens-before with vector clocks, lets weakly-ordered
+//!    loads return stale values, and explores thread interleavings
+//!    exhaustively under a preemption bound — so a missing fence or a
+//!    too-weak `Ordering` becomes a deterministic, replayable test
+//!    failure instead of a once-a-month heisenbug. Outside a model run
+//!    the same operation stays a real hardware atomic, so the rest of the
+//!    test suite is unaffected by the feature.
+//!
+//! # Which module do I want?
+//!
+//! * [`atomic`] — `Atomic{Bool,Usize,U64,Ptr}`, [`atomic::Ordering`] and
+//!   [`atomic::fence`]: the drop-in `std::sync::atomic` surface.
+//! * [`thread`] — `spawn`/`scope`/`yield_now`/… re-exports: the drop-in
+//!   `std::thread` surface ([`thread::yield_now`] additionally acts as a
+//!   scheduling point inside a model run).
+//! * [`model`] (`feature = "model"`) — the interleaving explorer:
+//!   [`model::explore`], [`model::spawn`], modeled [`model::Mutex`] /
+//!   [`model::Condvar`], and [`model::protocols`], the small-scale
+//!   executable replicas of this repository's trickiest protocols.
+//!
+//! # Example
+//!
+//! ```
+//! use wfqueue_sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let x = AtomicUsize::new(0);
+//! x.store(7, Ordering::Release);
+//! assert_eq!(x.load(Ordering::Acquire), 7);
+//! ```
+//!
+//! And the same type under the model checker (requires `--features model`):
+//!
+//! ```rust,ignore
+//! use std::sync::Arc;
+//! use wfqueue_sync::atomic::{AtomicUsize, Ordering};
+//! use wfqueue_sync::model;
+//!
+//! // Explores every interleaving (under the preemption bound) of the
+//! // two-thread program below; a lost update would panic with a replayable
+//! // schedule trace.
+//! let report = model::explore(model::Options::default(), || {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = model::spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+//!     x.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(x.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod atomic;
+pub mod thread;
+
+#[cfg(feature = "model")]
+pub mod model;

@@ -1,0 +1,82 @@
+//! The seam between the facade types and the model: every hook returns
+//! `None`/`false` when the calling OS thread is not inside a model
+//! schedule, in which case the facade falls through to the real
+//! `std::sync::atomic` operation.
+
+use crate::atomic::Ordering;
+
+use super::{current, exec};
+
+/// Modeled atomic load; `None` outside a model run.
+pub(crate) fn atomic_load(addr: usize, init: impl FnOnce() -> u64, order: Ordering) -> Option<u64> {
+    let h = current()?;
+    Some(exec::op_load(&h, addr, init(), order))
+}
+
+/// Modeled atomic store; `false` outside a model run.
+pub(crate) fn atomic_store(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    val: u64,
+    order: Ordering,
+) -> bool {
+    let Some(h) = current() else { return false };
+    exec::op_store(&h, addr, init(), val, order);
+    true
+}
+
+/// Modeled read-modify-write (returns the previous value); `None` outside
+/// a model run.
+pub(crate) fn atomic_rmw(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    f: &mut dyn FnMut(u64) -> u64,
+    order: Ordering,
+) -> Option<u64> {
+    let h = current()?;
+    Some(exec::op_rmw(&h, addr, init(), f, order))
+}
+
+/// Modeled compare-and-exchange; `None` outside a model run.
+pub(crate) fn atomic_cas(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    expected: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Option<Result<u64, u64>> {
+    let h = current()?;
+    Some(exec::op_cas(
+        &h,
+        addr,
+        init(),
+        expected,
+        new,
+        success,
+        failure,
+    ))
+}
+
+/// Modeled memory fence; `false` outside a model run.
+pub(crate) fn fence(order: Ordering) -> bool {
+    let Some(h) = current() else { return false };
+    exec::op_fence(&h, order);
+    true
+}
+
+/// Pure scheduling point ([`crate::thread::yield_now`] /
+/// [`crate::thread::sleep`] inside a model run); `false` outside one.
+pub(crate) fn yield_point() -> bool {
+    let Some(h) = current() else { return false };
+    exec::op_yield(&h);
+    true
+}
+
+/// Deregisters a dropped atomic's location so a later allocation reusing
+/// its address cannot alias its store history. No-op outside a model run.
+pub(crate) fn forget_location(addr: usize) {
+    if let Some(h) = current() {
+        exec::op_forget(&h, addr);
+    }
+}

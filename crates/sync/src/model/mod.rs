@@ -1,0 +1,314 @@
+//! A deterministic interleaving explorer for the facade's atomics — a
+//! loom-style model checker (`feature = "model"` only).
+//!
+//! [`explore`] runs a closure under a controlled scheduler, once per
+//! schedule, enumerating thread interleavings exhaustively up to a
+//! *preemption bound* (every schedule with at most `preemption_bound`
+//! involuntary context switches is visited — the regime where almost all
+//! real concurrency bugs live) and then sampling seeded random schedules
+//! beyond the bound. Inside a run:
+//!
+//! * [`spawn`] creates *virtual* threads: real OS threads whose every
+//!   facade operation is a scheduling point, with exactly one allowed to
+//!   run at a time, so an execution is fully determined by its choice
+//!   tape and can be replayed.
+//! * Every [`crate::atomic`] operation goes through a **modeled memory
+//!   system** that tracks happens-before with vector clocks. A
+//!   weakly-ordered load may return any *stale but coherent* value — each
+//!   such possibility is one more branch of the exploration — so a
+//!   missing `Acquire`/`Release`/`SeqCst` (or a dropped
+//!   [`crate::atomic::fence`]) is *detected* as an assertion failure or a
+//!   deadlock with a replayable trace, not merely survived.
+//! * [`Mutex`]/[`Condvar`] are modeled blocking primitives; a lost wakeup
+//!   becomes a detected deadlock ("all live threads blocked").
+//!
+//! # What the model implements (and what it approximates)
+//!
+//! The memory system is a C11-lite: per-location store histories,
+//! acquire/release clock transfer, release sequences through RMWs, and
+//! acquire/release/SC fences. Two deliberate strengthenings keep it
+//! simple, both *conservative in the same direction* (the model may miss
+//! an exotic weak-memory bug, it never reports a false one):
+//!
+//! * `SeqCst` is modeled as a global synchronization object — every SC
+//!   store/RMW/fence publishes the thread's clock into a global SC clock,
+//!   and every SC operation first joins it. This forbids everything real
+//!   SC forbids (store-buffering, the Dekker handshake) but is slightly
+//!   stronger than C11's SC-fence semantics in mixed-ordering corners.
+//! * Modification order is the execution's interleaving order, and
+//!   failed/successful CAS always reads the newest store. Loads are where
+//!   staleness happens.
+//!
+//! `compare_exchange_weak` is modeled as the strong variant: a spurious
+//! failure only adds a retry, never a new reachable state, so modeling it
+//! would multiply schedules without adding discriminating power.
+//!
+//! Code under the model must be *deterministic* given the choice tape
+//! (no wall-clock, no OS randomness, no real `std::thread::spawn`) and
+//! must reach a bounded number of facade operations per schedule (the
+//! `max_steps` budget turns an accidental spin-forever into a reported
+//! livelock).
+//!
+//! # Example: the classic store-buffering litmus test
+//!
+//! ```rust,ignore
+//! use std::sync::Arc;
+//! use wfqueue_sync::atomic::{AtomicUsize, Ordering};
+//! use wfqueue_sync::model;
+//!
+//! // Release/acquire alone permits both threads to read 0 — the model
+//! // finds the interleaving-plus-staleness that proves it.
+//! let result = model::try_explore(model::Options::default(), || {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let y = Arc::new(AtomicUsize::new(0));
+//!     let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+//!     let t = model::spawn(move || {
+//!         x2.store(1, Ordering::Release);
+//!         y2.load(Ordering::Acquire)
+//!     });
+//!     y.store(1, Ordering::Release);
+//!     let rx = x.load(Ordering::Acquire);
+//!     let ry = t.join();
+//!     assert!(rx == 1 || ry == 1, "store buffering observed");
+//! });
+//! assert!(result.is_err()); // caught: both loads CAN return 0
+//! ```
+
+mod exec;
+pub mod protocols;
+mod sync;
+
+pub(crate) mod hooks;
+
+pub use exec::{explore, try_explore, Failure, JoinHandle, Options, Report};
+pub use sync::{Condvar, Mutex, MutexGuard};
+
+use std::sync::Arc;
+
+use exec::ExecShared;
+
+/// One virtual thread's handle to the active execution: the `Arc` of the
+/// shared scheduler state plus this thread's virtual id.
+#[derive(Clone)]
+pub(crate) struct Handle {
+    pub(crate) shared: Arc<ExecShared>,
+    pub(crate) tid: usize,
+}
+
+std::thread_local! {
+    /// Set for the duration of a virtual thread's body; `None` on every
+    /// other thread in the process — which is how facade operations
+    /// outside a model run stay real hardware atomics.
+    pub(crate) static CURRENT: std::cell::RefCell<Option<Handle>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Returns the current virtual thread's handle, or `None` if this OS
+/// thread is not running inside a model schedule.
+pub(crate) fn current() -> Option<Handle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Spawns a virtual thread inside the active model run.
+///
+/// Must be called from inside an [`explore`] closure (or a thread it
+/// spawned); panics otherwise. The child inherits the parent's vector
+/// clock (the program-order spawn edge), and [`JoinHandle::join`]
+/// establishes the matching join edge.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let h = current().expect("model::spawn called outside a model::explore run");
+    exec::spawn_virtual(&h, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::atomic::{fence, AtomicUsize, Ordering};
+
+    use super::{explore, spawn, try_explore, Options};
+
+    fn opts() -> Options {
+        Options {
+            random_schedules: 16,
+            ..Options::default()
+        }
+    }
+
+    /// Store buffering: with only release/acquire both threads may read
+    /// 0 — the model must find that outcome.
+    #[test]
+    fn store_buffering_observed_under_release_acquire() {
+        let failure = try_explore(opts(), || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = spawn(move || {
+                x2.store(1, Ordering::Release);
+                y2.load(Ordering::Acquire)
+            });
+            y.store(1, Ordering::Release);
+            let rx = x.load(Ordering::Acquire);
+            let ry = t.join();
+            assert!(rx == 1 || ry == 1, "both sides read 0");
+        })
+        .expect_err("release/acquire Dekker must be refutable");
+        assert!(
+            failure.message.contains("both sides read 0"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    /// The same litmus with everything SeqCst is correct — the model must
+    /// exhaust the space without a counterexample (i.e. no false
+    /// positives from the SC modeling).
+    #[test]
+    fn store_buffering_forbidden_under_seqcst() {
+        let report = explore(opts(), || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::SeqCst)
+            });
+            y.store(1, Ordering::SeqCst);
+            let rx = x.load(Ordering::SeqCst);
+            let ry = t.join();
+            assert!(rx == 1 || ry == 1, "SC forbids both sides reading 0");
+        });
+        assert!(report.complete, "space small enough to exhaust");
+        assert!(report.exhaustive_schedules > 1);
+    }
+
+    /// SC *fences* between relaxed accesses also forbid store buffering
+    /// (the exact shape of `Signal::notify`'s fast path).
+    #[test]
+    fn store_buffering_forbidden_by_sc_fences() {
+        explore(opts(), || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let rx = x.load(Ordering::Relaxed);
+            let ry = t.join();
+            assert!(rx == 1 || ry == 1, "fenced Dekker must be SC");
+        });
+    }
+
+    /// Message passing: a relaxed flag publication lets the reader see
+    /// the flag but miss the payload — the model must catch it.
+    #[test]
+    fn message_passing_needs_release() {
+        let failure = try_explore(opts(), || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // BUG: should be Release
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload");
+            }
+            t.join();
+        })
+        .expect_err("relaxed publication must be caught");
+        assert!(failure.message.contains("stale payload"));
+    }
+
+    /// ...and the correct release/acquire version passes exhaustively.
+    #[test]
+    fn message_passing_release_acquire_is_sound() {
+        let report = explore(opts(), || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join();
+        });
+        assert!(report.complete);
+    }
+
+    /// RMWs continue release sequences: a relaxed `fetch_add` between a
+    /// release store and an acquire load must not break synchronization.
+    #[test]
+    fn rmw_continues_release_sequence() {
+        explore(opts(), || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let f3 = Arc::clone(&flag);
+            let producer = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            let bumper = spawn(move || {
+                // Relaxed RMW in the middle of the release sequence.
+                f3.fetch_add(10, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 11 {
+                // Reading the RMW's value still acquires the original
+                // release store.
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            producer.join();
+            bumper.join();
+        });
+    }
+
+    /// A lost wakeup (wait with no notifier) is detected as a deadlock.
+    #[test]
+    fn lost_wakeup_is_a_detected_deadlock() {
+        let failure = try_explore(opts(), || {
+            let m = Arc::new(super::Mutex::new(false));
+            let cv = Arc::new(super::Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let t = spawn(move || {
+                let mut ready = m2.lock();
+                while !*ready {
+                    ready = cv2.wait(ready);
+                }
+            });
+            // BUG: set the flag without notifying.
+            *m.lock() = true;
+            t.join();
+        })
+        .expect_err("un-notified waiter must deadlock");
+        assert!(
+            failure.message.contains("deadlock"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    /// The schedule count grows with thread count — sanity check that
+    /// the DFS actually branches.
+    #[test]
+    fn exploration_branches() {
+        let r2 = explore(opts(), || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = Arc::clone(&x);
+            let t = spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+            x.fetch_add(1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(x.load(Ordering::SeqCst), 2);
+        });
+        assert!(r2.complete && r2.exhaustive_schedules >= 2);
+    }
+}

@@ -1,0 +1,385 @@
+//! Executable replicas of the three trickiest lock-free protocols in this
+//! workspace, with *seeded-bug* switches, for exhaustive checking under
+//! [`super::explore`].
+//!
+//! Each scenario is a faithful, minimal port of a real protocol —
+//! same atomics, same orderings, same control flow — shrunk to the
+//! smallest shape that still contains the race the real code must win:
+//!
+//! | replica | real code | property checked |
+//! |---|---|---|
+//! | [`signal_scenario`] | `Signal` in `crates/channel/src/wait.rs` | no lost wakeup (a parked waiter is always woken) |
+//! | [`gate_scenario`] | `try_reserve`/`release` in `crates/channel/src/endpoint.rs` | capacity never exceeded; a reserved slot's previous cleanup is visible |
+//! | [`hazard_scenario`] | `begin_op`/`truncate_locked` in `crates/core/src/unbounded/reclaim.rs` | the truncator never frees a slot a published hazard still clamps to |
+//!
+//! The bug structs ([`SignalBugs`], [`GateBugs`], [`HazardBugs`]) switch
+//! individual lines of the protocols off or weaken their orderings. With
+//! all flags `false` the scenarios must survive *every* schedule
+//! (`tests/model.rs` asserts exhaustive passes); with any flag `true` the
+//! explorer must find a failing schedule (`tests/checker_power.rs`
+//! asserts detection — that is the evidence the checker has teeth, not
+//! just that the protocols are green).
+//!
+//! Replicas, not the real types, are what get checked because the real
+//! hot paths intermix metrics recording and epoch pins that are sound by
+//! construction but would multiply the schedule space; the replicas
+//! preserve exactly the shared-memory dance the correctness arguments in
+//! the real modules' docs are about. `tests/checker_power.rs` is the
+//! fidelity guard: if a replica drifted into something trivially correct,
+//! its seeded mutations would stop being detected and the suite would
+//! fail.
+
+use std::sync::Arc;
+
+use crate::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+use super::{spawn, Condvar, Mutex};
+
+/// Hazard value meaning "no operation in flight" (mirrors
+/// `reclaim::IDLE`).
+const IDLE: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------------
+// Signal: the event-count / Dekker wakeup handshake
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`signal_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SignalBugs {
+    /// Drop the `SeqCst` fence at the top of `notify` — the fence that
+    /// orders the notifier's (release-only) data publication before its
+    /// read of `waiters` in the SC total order. Without it the notifier
+    /// can take the "nobody is listening" fast path while a waiter,
+    /// still able to read the stale data value, goes to sleep: a lost
+    /// wakeup, detected as a deadlock.
+    pub skip_notify_fence: bool,
+    /// Skip the waiter's re-check of its condition between `listen` and
+    /// `wait` — the other half of the handshake. A notifier that ran
+    /// entirely before the publication then never advances the epoch,
+    /// and the waiter sleeps forever.
+    pub skip_listen_recheck: bool,
+}
+
+/// Replica of `Signal` (`crates/channel/src/wait.rs`): event count +
+/// waiter count, with the blocking half on modeled mutex/condvar.
+struct SignalProto {
+    waiters: AtomicUsize,
+    epoch: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl SignalProto {
+    fn new() -> Self {
+        SignalProto {
+            waiters: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// `Signal::listen`: publish, then snapshot the epoch.
+    fn listen(&self) -> u64 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// `Signal::cancel`: withdraw a publication without sleeping.
+    fn cancel(&self) {
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `Signal::wait`: park until the epoch leaves the snapshot.
+    fn wait(&self, key: u64) {
+        let mut guard = self.lock.lock();
+        while self.epoch.load(Ordering::SeqCst) == key {
+            guard = self.cv.wait(guard);
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `Signal::notify`: fence, fast-path check, then epoch bump +
+    /// broadcast under the lock.
+    fn notify(&self, bugs: SignalBugs) {
+        if !bugs.skip_notify_fence {
+            // The replica of wait.rs's load-bearing fence: orders the
+            // caller's data store before the `waiters` read below.
+            fence(Ordering::SeqCst);
+        }
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        {
+            let _guard = self.lock.lock();
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The no-lost-wakeup scenario: `1 + usize::from(extra_waiter)` waiters
+/// block on a [`SignalProto`] for a data flag the main thread publishes
+/// with `Release` (deliberately *not* `SeqCst`: the real notifier's state
+/// update — an enqueue — is not SC either, which is exactly why `notify`
+/// needs its fence) followed by `notify`. Every waiter must terminate;
+/// a lost wakeup parks a waiter forever and surfaces as a modeled
+/// deadlock.
+pub fn signal_scenario(bugs: SignalBugs, extra_waiter: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sig = Arc::new(SignalProto::new());
+        let data = Arc::new(AtomicU64::new(0));
+        let waiters = 1 + usize::from(extra_waiter);
+        let mut handles = Vec::new();
+        for _ in 0..waiters {
+            let sig = Arc::clone(&sig);
+            let data = Arc::clone(&data);
+            handles.push(spawn(move || {
+                loop {
+                    if data.load(Ordering::Acquire) == 1 {
+                        break;
+                    }
+                    let key = sig.listen();
+                    // The re-check that closes the race against a notify
+                    // that ran before the publication above.
+                    if !bugs.skip_listen_recheck && data.load(Ordering::Acquire) == 1 {
+                        sig.cancel();
+                        break;
+                    }
+                    sig.wait(key);
+                }
+                assert_eq!(
+                    data.load(Ordering::Acquire),
+                    1,
+                    "waiter woke before the notifier's data store was visible"
+                );
+            }));
+        }
+        // The notifier (main virtual thread): publish data, then notify —
+        // the exact shape of a channel send.
+        data.store(1, Ordering::Release);
+        sig.notify(bugs);
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity gate: bounded-channel slot reservation
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`gate_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GateBugs {
+    /// Weaken the reservation CAS's orderings from `SeqCst` to
+    /// `Relaxed`. The CAS still wins slots atomically (capacity is never
+    /// exceeded — atomicity is not ordering), but a successful CAS that
+    /// is the *first* operation to read a receiver's `fetch_sub` release
+    /// no longer acquires that receiver's slot cleanup: the new holder
+    /// can observe the previous occupant's stale payload. The window
+    /// needs a second producer — for the producer whose fresh
+    /// `len.load(SeqCst)` read the release, that load already carried
+    /// the edge; the victim is the racer whose load predates the
+    /// release and whose CAS lands on it directly.
+    pub weak_cas: bool,
+}
+
+/// Replica of the bounded channel's in-flight gate
+/// (`crates/channel/src/endpoint.rs`): `len` is the reservation counter,
+/// `cell` stands for the single payload slot a capacity-1 channel
+/// protects (`0` = empty; the fill is one `SeqCst` store, standing in
+/// for the real queue enqueue whose own protocol is `SeqCst`-heavy).
+struct Gate {
+    len: AtomicUsize,
+    cell: AtomicU64,
+}
+
+impl Gate {
+    /// One pass of `try_reserve(1)` against capacity `cap`: the real CAS
+    /// loop minus the metrics hooks. Returns `false` when the gate is
+    /// full right now (the caller yields and retries, as the blocking
+    /// send path does via its `Signal`).
+    fn try_reserve_once(&self, cap: usize, bugs: GateBugs) -> bool {
+        let order = if bugs.weak_cas {
+            Ordering::Relaxed
+        } else {
+            Ordering::SeqCst
+        };
+        let mut len = self.len.load(Ordering::SeqCst);
+        loop {
+            if len + 1 > cap {
+                return false;
+            }
+            match self.len.compare_exchange_weak(len, len + 1, order, order) {
+                Ok(prev) => {
+                    assert!(prev < cap, "capacity gate exceeded its bound");
+                    return true;
+                }
+                Err(current) => len = current,
+            }
+        }
+    }
+
+    /// A producer round: spin-reserve a slot, assert it arrives clean
+    /// (the previous occupant's cleanup must be visible to the new
+    /// holder — the happens-before edge the gate's orderings carry),
+    /// then fill it with `mark`.
+    fn produce(&self, mark: u64, bugs: GateBugs) {
+        while !self.try_reserve_once(1, bugs) {
+            crate::thread::yield_now();
+        }
+        assert_eq!(
+            self.cell.load(Ordering::Relaxed),
+            0,
+            "reserved a slot whose previous occupant's cleanup is not visible"
+        );
+        self.cell.store(mark, Ordering::SeqCst);
+    }
+
+    /// A consumer round, non-blocking: if a payload is present, empty the
+    /// slot and `release(1)` it back — the real code's
+    /// `fetch_sub(SeqCst)`.
+    fn try_consume(&self) -> Option<u64> {
+        let v = self.cell.load(Ordering::SeqCst);
+        if v == 0 {
+            return None;
+        }
+        self.cell.store(0, Ordering::Relaxed);
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(v)
+    }
+}
+
+/// The slot-handoff scenario on a capacity-1 gate: a rival producer
+/// races one round (mark 11) against the main thread, which produces
+/// mark 9 and consumes both payloads in whatever order the gate admits
+/// them. Checked in every schedule: the gate never admits past capacity,
+/// nobody deadlocks, every reserved slot arrives *clean* (the releasing
+/// consumer's cleanup is visible to the winning producer), and exactly
+/// `{9, 11}` drain, once each.
+///
+/// The clean-slot assert is what the reservation CAS's `SeqCst` buys,
+/// and the rival is the victim: in the schedule where the rival loads
+/// `len == 0`, then the main thread reserves, fills 9, and consumes it
+/// (cleanup + release) before the rival's CAS lands, that CAS succeeds
+/// against a release it never loaded — only its ordering can carry the
+/// cleanup edge. See [`GateBugs::weak_cas`].
+pub fn gate_scenario(bugs: GateBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let gate = Arc::new(Gate {
+            len: AtomicUsize::new(0),
+            cell: AtomicU64::new(0),
+        });
+        let gate_p = Arc::clone(&gate);
+        let rival = spawn(move || gate_p.produce(11, bugs));
+        let mut produced = false;
+        let mut seen = [false; 2];
+        let mut consumed = 0;
+        while !produced || consumed < 2 {
+            if !produced && gate.try_reserve_once(1, bugs) {
+                assert_eq!(
+                    gate.cell.load(Ordering::Relaxed),
+                    0,
+                    "reserved a slot whose previous occupant's cleanup is not visible"
+                );
+                gate.cell.store(9, Ordering::SeqCst);
+                produced = true;
+                continue;
+            }
+            if consumed < 2 {
+                if let Some(v) = gate.try_consume() {
+                    assert!(v == 9 || v == 11, "consumed a torn payload");
+                    let idx = usize::from(v == 11);
+                    assert!(!seen[idx], "payload {v} consumed twice");
+                    seen[idx] = true;
+                    consumed += 1;
+                    continue;
+                }
+            }
+            crate::thread::yield_now();
+        }
+        rival.join();
+        assert!(seen[0] && seen[1], "both payloads must drain");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation hazard: publish-then-recheck vs publish-then-scan
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`hazard_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HazardBugs {
+    /// Skip the reader's re-check of the frontier after publishing its
+    /// hazard. A truncator that advanced the frontier and scanned hazards
+    /// *between the reader's frontier load and its publication* never saw
+    /// the hazard — and frees the very slot the reader clamps to.
+    pub skip_publish_recheck: bool,
+    /// Publish the hazard with `Relaxed` instead of `SeqCst`. The
+    /// publication then never enters the SC order the truncator's scan
+    /// relies on: the scan can miss a hazard that was (program-order)
+    /// published before it.
+    pub relaxed_hazard_store: bool,
+}
+
+/// The reclamation-frontier scenario, replica of
+/// `crates/core/src/unbounded/reclaim.rs`: a reader runs `begin_op`'s
+/// publish-then-recheck loop and then touches the slot `frontier - 1` it
+/// clamped to, while a truncator advances the frontier to 3 using the
+/// real pass's order — *publish the new frontier, then scan hazards,
+/// then free below `min(frontier, hazards) - 1`*. The reader asserts its
+/// clamp slot was never freed; `freed_below` stands for the unlinked
+/// prefix.
+pub fn hazard_scenario(bugs: HazardBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let frontier = Arc::new(AtomicU64::new(1));
+        let hazard = Arc::new(AtomicU64::new(IDLE));
+        let freed_below = Arc::new(AtomicU64::new(0));
+        let (frontier2, hazard2, freed2) = (
+            Arc::clone(&frontier),
+            Arc::clone(&hazard),
+            Arc::clone(&freed_below),
+        );
+        let truncator = spawn(move || {
+            // `truncate_locked`: two more root blocks proven dead.
+            let cur = frontier2.load(Ordering::SeqCst);
+            let intent = cur.max(3);
+            // Publish intent BEFORE scanning hazards — the line the
+            // begin_op recheck argument leans on.
+            frontier2.store(intent, Ordering::SeqCst);
+            let h = hazard2.load(Ordering::SeqCst);
+            let f_final = if h == IDLE { intent } else { intent.min(h) };
+            // Free the dead prefix: slots < f_final - 1 (slot f_final - 1
+            // itself survives as the boundary summary).
+            freed2.store(f_final - 1, Ordering::SeqCst);
+        });
+        // The reader: `begin_op`'s publish-then-recheck.
+        let store_order = if bugs.relaxed_hazard_store {
+            Ordering::Relaxed
+        } else {
+            Ordering::SeqCst
+        };
+        let published = loop {
+            let f = frontier.load(Ordering::SeqCst);
+            hazard.store(f, store_order);
+            // Recheck: a stable frontier proves any concurrent scan saw
+            // our publication.
+            if bugs.skip_publish_recheck || frontier.load(Ordering::SeqCst) == f {
+                break f;
+            }
+        };
+        // The operation's backwards searches clamp to slot
+        // `published - 1` (OpGuard::floor); it must stay allocated while
+        // the hazard is up.
+        let slot = published - 1;
+        assert!(
+            slot >= freed_below.load(Ordering::SeqCst),
+            "truncator freed the slot a published hazard clamps to"
+        );
+        // `end_op`: clear the hazard.
+        hazard.store(IDLE, Ordering::SeqCst);
+        truncator.join();
+    }
+}

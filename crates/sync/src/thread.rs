@@ -1,0 +1,50 @@
+//! Facade over [`std::thread`]: the workspace's only sanctioned way to
+//! spawn, scope, or yield.
+//!
+//! Everything re-exported here is the `std` item, verbatim — the facade
+//! exists so the `cargo lint` xtask can forbid raw `std::thread` imports
+//! and keep the doorway single. Two functions are wrapped rather than
+//! re-exported:
+//!
+//! * [`yield_now`] — inside a [`crate::model::explore`] run it is a pure
+//!   *scheduling point* (the model may switch threads there, which is what
+//!   a spin-loop author means by yielding); outside it is
+//!   [`std::thread::yield_now`].
+//! * [`sleep`] — inside a model run it degrades to a scheduling point
+//!   (modeled time does not pass); outside it is [`std::thread::sleep`].
+//!
+//! OS-thread creation (`spawn`/`scope`) is intentionally **not** modeled:
+//! code under the model checker creates its virtual threads with
+//! [`crate::model::spawn`], and the model run aborts with a clear message
+//! if real spawning sneaks in (checked in `model::explore`'s scheduler,
+//! which controls every participating thread).
+
+pub use std::thread::{
+    current, panicking, park, park_timeout, scope, spawn, Builder, JoinHandle, Scope,
+    ScopedJoinHandle, Thread,
+};
+
+use std::time::Duration;
+
+/// Cooperatively yields: a model scheduling point inside
+/// [`crate::model::explore`], [`std::thread::yield_now`] otherwise.
+#[inline]
+pub fn yield_now() {
+    #[cfg(feature = "model")]
+    if crate::model::hooks::yield_point() {
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// Sleeps for `dur` — except inside a model run, where it is a scheduling
+/// point (the model has no clock; sleeping cannot be used for
+/// synchronization under exhaustive exploration anyway).
+#[inline]
+pub fn sleep(dur: Duration) {
+    #[cfg(feature = "model")]
+    if crate::model::hooks::yield_point() {
+        return;
+    }
+    std::thread::sleep(dur);
+}

@@ -23,7 +23,7 @@ fn main() {
     let txs = [tx.try_clone().unwrap(), tx];
     let rxs = [rx.try_clone().unwrap(), rx];
 
-    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
         for (p, mut tx) in txs.into_iter().enumerate() {
             s.spawn(move || {
                 for i in 0..per_producer {

@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --release --example sharded_pipeline`
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
 use wfqueue_shard::{Routing, ShardedUnbounded};
 
@@ -35,7 +35,7 @@ fn main() {
     let consumed = Arc::new(AtomicU64::new(0));
     let producers_done = Arc::new(AtomicU64::new(0));
 
-    std::thread::scope(|s| {
+    wfqueue_sync::thread::scope(|s| {
         for p in 0..PRODUCERS {
             let mut h = handles.remove(0);
             let produced = Arc::clone(&produced);

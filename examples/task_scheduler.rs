@@ -15,7 +15,7 @@
 //!
 //! Run with: `cargo run --release --example task_scheduler`
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
 use wfqueue_channel as channel;
 
@@ -60,7 +60,7 @@ fn main() {
     let mut rxs: Vec<_> = (1..workers).map(|_| rx.try_clone().unwrap()).collect();
     rxs.push(rx);
 
-    std::thread::scope(|s| {
+    wfqueue_sync::thread::scope(|s| {
         for (p, mut tx) in txs.into_iter().enumerate() {
             s.spawn(move || {
                 for job in 0..jobs_per_producer {

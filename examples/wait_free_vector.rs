@@ -16,7 +16,7 @@ fn main() {
 
     // Each writer appends its events; `append` returns the event's position
     // in the global linearization (the paper's Index(e) operation).
-    let positions: Vec<Vec<usize>> = std::thread::scope(|s| {
+    let positions: Vec<Vec<usize>> = wfqueue_sync::thread::scope(|s| {
         let joins: Vec<_> = (0..writers)
             .map(|w| {
                 let mut h = handles.remove(0);

@@ -97,7 +97,7 @@ fn concurrent_batches_preserve_per_producer_order_within_batches() {
     // on raw batch responses.
     let q = wfqueue::unbounded::Queue::new(4);
     let mut handles = q.handles();
-    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
         let mut producers = Vec::new();
         for pid in 0..2u64 {
             let mut h = handles.remove(0);

@@ -95,7 +95,7 @@ fn concurrent_churn_keeps_space_bounded() {
     let threads = 4usize;
     let q: BoundedQueue<u64> = BoundedQueue::with_gc_period(threads, 8);
     let mut handles = q.handles();
-    std::thread::scope(|s| {
+    wfqueue_sync::thread::scope(|s| {
         for t in 0..threads as u64 {
             let mut h = handles.remove(0);
             s.spawn(move || {

@@ -283,7 +283,7 @@ fn adversarial_ping_pong_capacity_one() {
         },
         gc_period: None,
     });
-    let producer = std::thread::spawn(move || {
+    let producer = wfqueue_sync::thread::spawn(move || {
         for i in 0..ROUNDS {
             tx.send(i).unwrap();
         }
@@ -310,7 +310,7 @@ fn adversarial_drain_then_disconnect_under_contention() {
         reclaim: ReclaimPolicy::EveryKRootBlocks(16),
     });
     let senders = [tx.try_clone().unwrap(), tx.try_clone().unwrap(), tx];
-    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let consumed: Vec<Vec<u64>> = wfqueue_sync::thread::scope(|s| {
         for (p, mut tx) in senders.into_iter().enumerate() {
             s.spawn(move || {
                 for i in 0..PER_SENDER {
@@ -476,7 +476,7 @@ mod async_mode {
             },
             gc_period: None,
         });
-        let producer = std::thread::spawn(move || {
+        let producer = wfqueue_sync::thread::spawn(move || {
             for i in 0..ROUNDS {
                 block_on(tx.send_async(i)).unwrap();
             }

@@ -119,3 +119,122 @@ proptest! {
         prop_assert!(check_linearizable(&h).is_err());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mutation testing for the interleaving model checker (`--features model`)
+// ---------------------------------------------------------------------------
+
+/// The same philosophy as above, aimed at the *model checker*: exhaustive
+/// green runs in `tests/model.rs` prove nothing unless the explorer
+/// demonstrably rejects broken variants of the same protocols. Each test
+/// seeds one historical-bug-shaped mutation into a protocol replica
+/// (see `wfqueue_sync::model::protocols`) and requires the explorer to
+/// find a failing schedule. Together with `tests/model.rs` this is the
+/// sound/complete pair: correct protocols pass every schedule, each
+/// mutation is caught in at least one.
+#[cfg(feature = "model")]
+mod model_checker_power {
+    use wfqueue_sync::model::{protocols, try_explore, Options};
+
+    fn opts() -> Options {
+        Options::from_env()
+    }
+
+    /// Dropping `Signal::notify`'s SeqCst fence re-opens the Dekker race:
+    /// the notifier can miss the waiter's publication while the waiter
+    /// can still read the stale (pre-store) data value — a lost wakeup,
+    /// surfacing as a modeled deadlock.
+    #[test]
+    fn signal_dropped_notify_fence_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::signal_scenario(
+                protocols::SignalBugs {
+                    skip_notify_fence: true,
+                    ..Default::default()
+                },
+                false,
+            ),
+        )
+        .expect_err("dropped notify fence must be caught");
+        assert!(
+            failure.message.contains("deadlock"),
+            "expected a lost-wakeup deadlock, got: {failure}"
+        );
+    }
+
+    /// Skipping the waiter's re-check between `listen` and `wait` loses
+    /// the wakeup whenever the notify ran entirely before the
+    /// publication.
+    #[test]
+    fn signal_skipped_listen_recheck_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::signal_scenario(
+                protocols::SignalBugs {
+                    skip_listen_recheck: true,
+                    ..Default::default()
+                },
+                false,
+            ),
+        )
+        .expect_err("skipped listen re-check must be caught");
+        assert!(
+            failure.message.contains("deadlock"),
+            "expected a lost-wakeup deadlock, got: {failure}"
+        );
+    }
+
+    /// Weakening the capacity gate's reservation CAS to `Relaxed` lets a
+    /// producer whose CAS lands directly on a consumer's release observe
+    /// the slot's previous payload (the cleanup edge is lost).
+    #[test]
+    fn gate_weakened_cas_ordering_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::gate_scenario(protocols::GateBugs { weak_cas: true }),
+        )
+        .expect_err("weakened gate CAS ordering must be caught");
+        assert!(
+            failure.message.contains("cleanup is not visible"),
+            "expected a stale-slot assert, got: {failure}"
+        );
+    }
+
+    /// Skipping `begin_op`'s frontier re-check lets a truncator that
+    /// scanned hazards between the reader's frontier load and its
+    /// publication free the very slot the reader clamps to.
+    #[test]
+    fn hazard_skipped_recheck_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::hazard_scenario(protocols::HazardBugs {
+                skip_publish_recheck: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("skipped hazard re-check must be caught");
+        assert!(
+            failure.message.contains("freed the slot"),
+            "expected a freed-slot assert, got: {failure}"
+        );
+    }
+
+    /// Publishing the hazard with `Relaxed` keeps it out of the SC order
+    /// the truncator's scan relies on: the scan can miss it entirely.
+    #[test]
+    fn hazard_relaxed_publication_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::hazard_scenario(protocols::HazardBugs {
+                relaxed_hazard_store: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("relaxed hazard publication must be caught");
+        assert!(
+            failure.message.contains("freed the slot"),
+            "expected a freed-slot assert, got: {failure}"
+        );
+    }
+}

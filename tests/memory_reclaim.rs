@@ -298,11 +298,11 @@ fn approx_len_survives_concurrent_truncation() {
     // `head` snapshot pointed at, and the scan then panicked on the hole.
     // The fix clamps the scan start to the boundary and retries when the
     // start slot vanishes between the reads.
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use wfqueue_sync::atomic::{AtomicBool, Ordering};
     let q: wfqueue::unbounded::Queue<u64> =
         wfqueue::unbounded::Queue::with_reclaim(2, ReclaimPolicy::EveryKRootBlocks(1));
     let done = AtomicBool::new(false);
-    std::thread::scope(|s| {
+    wfqueue_sync::thread::scope(|s| {
         let reader = s.spawn(|| {
             let mut reads = 0u64;
             while !done.load(Ordering::Relaxed) {
