@@ -884,7 +884,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweeping routing")]
+    #[should_panic(expected = "full-coverage routing")]
     fn sharded_rejects_per_producer_routing() {
         // A pinned receiver could never drain the other shards, breaking
         // the drain-then-Disconnected contract — rejected up front.

@@ -116,7 +116,7 @@ pub mod future;
 pub(crate) use endpoint::Shared;
 pub use endpoint::{IntoIter, Receiver, Sender, TryIter};
 pub use error::{CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
-pub use wfqueue_shard::{ReclaimPolicy, Routing};
+pub use wfqueue_shard::{PlacementConfig, ReclaimPolicy, Routing};
 
 use backend::Backend;
 
@@ -212,13 +212,25 @@ pub struct ShardedConfig {
     pub endpoints: Endpoints,
     /// Routing policy. The default, [`Routing::Rendezvous`], keeps
     /// per-sender FIFO and starvation-free sweeping receivers;
-    /// [`Routing::RoundRobin`] trades per-sender FIFO away for load
-    /// spread. [`Routing::PerProducer`] is **rejected** (the constructor
-    /// panics): it pins *receivers* to one shard too, so a receiver could
-    /// never observe values sent on the other shards — which would break
-    /// the channel contract that any receiver can receive any value and
-    /// that `recv` drains everything before reporting a disconnect.
+    /// [`Routing::Nearest`] keeps the same contract while replacing the
+    /// global rotating sweep ticket with the contention-aware
+    /// nearest-nonempty scan, and [`Routing::Adaptive`] additionally
+    /// re-homes contended senders; [`Routing::RoundRobin`] trades
+    /// per-sender FIFO away for load spread. [`Routing::PerProducer`] is
+    /// **rejected** (the constructor panics): it pins *receivers* to one
+    /// shard too, so a receiver could never observe values sent on the
+    /// other shards — which would break the channel contract that any
+    /// receiver can receive any value and that `recv` drains everything
+    /// before reporting a disconnect. The rule is policy-generic: any
+    /// routing whose scan does not cover every shard
+    /// ([`wfqueue_shard::RoutePolicy::full_coverage`]) is rejected.
     pub routing: Routing,
+    /// Hardware placement consulted by the topology-aware policies
+    /// (`Nearest`/`Adaptive`): [`PlacementConfig::Detect`] reads
+    /// `/sys/devices/system/cpu` once (with a deterministic fallback);
+    /// tests and reproducible benchmarks pin [`PlacementConfig::Flat`] or
+    /// [`PlacementConfig::Uniform`]. Ignored by the legacy policies.
+    pub placement: PlacementConfig,
     /// Per-shard tree-truncation policy (see [`UnboundedConfig::reclaim`]).
     pub reclaim: ReclaimPolicy,
 }
@@ -231,6 +243,7 @@ impl Default for ShardedConfig {
             shards: 4,
             endpoints: Endpoints::default(),
             routing: Routing::Rendezvous,
+            placement: PlacementConfig::default(),
             reclaim: ReclaimPolicy::EveryKRootBlocks(64),
         }
     }
@@ -341,16 +354,21 @@ pub fn bounded_with<T: Clone + Send + Sync + 'static>(
 /// # Panics
 ///
 /// Panics if the shard count, an endpoint budget or the reclaim period is
-/// zero, or if `cfg.routing` is [`Routing::PerProducer`] (see
-/// [`ShardedConfig::routing`] — a pinned receiver could never drain the
-/// other shards).
+/// zero, or if `cfg.routing`'s scan does not cover every shard — e.g.
+/// [`Routing::PerProducer`] (see [`ShardedConfig::routing`] — a pinned
+/// receiver could never drain the other shards).
 ///
 /// # Examples
 ///
 /// ```
-/// use wfqueue_channel::{sharded, ShardedConfig};
+/// use wfqueue_channel::{sharded, PlacementConfig, Routing, ShardedConfig};
 ///
-/// let (mut tx, mut rx) = sharded(ShardedConfig { shards: 2, ..ShardedConfig::default() });
+/// let (mut tx, mut rx) = sharded(ShardedConfig {
+///     shards: 2,
+///     routing: Routing::Nearest, // contention-aware nearest-nonempty scan
+///     placement: PlacementConfig::Flat,
+///     ..ShardedConfig::default()
+/// });
 /// tx.send_all([1, 2, 3]).unwrap(); // one sender: arrives in order
 /// assert_eq!(rx.recv(), Ok(1));
 /// assert_eq!(rx.recv_up_to(5), vec![2, 3]);
@@ -358,22 +376,19 @@ pub fn bounded_with<T: Clone + Send + Sync + 'static>(
 #[must_use]
 pub fn sharded<T: Clone + Send + Sync + 'static>(cfg: ShardedConfig) -> (Sender<T>, Receiver<T>) {
     assert!(
-        cfg.routing != Routing::PerProducer,
-        "a sharded channel needs a sweeping routing policy (Rendezvous or RoundRobin): \
-         PerProducer pins receivers to one shard, so they could never observe values \
-         sent on the others"
+        cfg.routing.policy().full_coverage(),
+        "a sharded channel needs a full-coverage routing policy (Rendezvous, Nearest, \
+         Adaptive or RoundRobin): {:?} pins receivers to one shard, so they could never \
+         observe values sent on the others",
+        cfg.routing,
     );
-    let queue = match cfg.reclaim {
-        ReclaimPolicy::Off => {
-            wfqueue_shard::ShardedUnbounded::new(cfg.shards, cfg.endpoints.total(), cfg.routing)
-        }
-        policy => wfqueue_shard::ShardedUnbounded::with_reclaim(
-            cfg.shards,
-            cfg.endpoints.total(),
-            cfg.routing,
-            policy,
-        ),
-    };
+    let queue = wfqueue_shard::ShardedUnbounded::with_reclaim_placed(
+        cfg.shards,
+        cfg.endpoints.total(),
+        cfg.routing,
+        cfg.reclaim,
+        cfg.placement,
+    );
     Shared::channel(
         Backend::Sharded(queue),
         None,

@@ -25,8 +25,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use wfqueue_channel::{
-    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, Receiver, ReclaimPolicy,
-    Routing, Sender, ShardedConfig, UnboundedConfig,
+    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, PlacementConfig, Receiver,
+    ReclaimPolicy, Routing, Sender, ShardedConfig, UnboundedConfig,
 };
 
 use crate::queue_api::{ConcurrentQueue, QueueHandle};
@@ -118,13 +118,23 @@ impl<T: Clone + Send + Sync + 'static> WfChannel<T> {
     /// shard count (exactly as for the raw sharded adapters).
     #[must_use]
     pub fn sharded(shards: usize, p: usize, mode: ChannelMode) -> Self {
+        Self::sharded_routed(shards, p, mode, Routing::Rendezvous)
+    }
+
+    /// [`WfChannel::sharded`] with an explicit (full-coverage) routing
+    /// policy, so the harness suites exercise the contention-aware scans
+    /// through the channel facade too. Placement is pinned to
+    /// [`PlacementConfig::Flat`] for run-to-run determinism.
+    #[must_use]
+    pub fn sharded_routed(shards: usize, p: usize, mode: ChannelMode, routing: Routing) -> Self {
         let (tx, rx) = sharded(ShardedConfig {
             shards,
             endpoints: Endpoints {
                 senders: p,
                 receivers: p,
             },
-            routing: Routing::Rendezvous,
+            routing,
+            placement: PlacementConfig::Flat,
             reclaim: ReclaimPolicy::Off,
         });
         Self::from_pair(tx, rx, p, mode, "wf-channel-sharded")

@@ -7,7 +7,7 @@ use std::fmt;
 use wfqueue_baselines::{MsQueue, MutexQueue, SegQueueAdapter, TwoLockQueue};
 use wfqueue_shard::{Shard, ShardedBounded, ShardedHandle, ShardedUnbounded};
 
-pub use wfqueue_shard::{ReclaimPolicy, Routing};
+pub use wfqueue_shard::{PlacementConfig, ReclaimPolicy, Routing};
 
 /// A queue could not supply the requested number of handles.
 ///
@@ -321,7 +321,8 @@ impl<T: Clone + Send + Sync> QueueHandle<T>
 /// (`wfqueue_shard::ShardedUnbounded`).
 ///
 /// For `S > 1` the composite is *not* one linearizable FIFO — it is FIFO
-/// per producer under `PerProducer`/`Rendezvous` routing (see the
+/// per producer under every pinning routing
+/// (`PerProducer`/`Rendezvous`/`Nearest`/`Adaptive`; see the
 /// `wfqueue_shard` crate docs), which is exactly what the workload
 /// runners' per-producer audits check; run the Wing–Gong checker per shard.
 #[derive(Debug)]
@@ -333,6 +334,21 @@ impl<T: Clone + Send + Sync> WfShardedUnbounded<T> {
     #[must_use]
     pub fn new(shards: usize, processes: usize, routing: Routing) -> Self {
         WfShardedUnbounded(ShardedUnbounded::new(shards, processes, routing))
+    }
+
+    /// Like [`WfShardedUnbounded::new`] with an explicit
+    /// [`PlacementConfig`], so suites exercising the topology-aware
+    /// policies (`Nearest`/`Adaptive`) can pin a deterministic placement.
+    #[must_use]
+    pub fn new_placed(
+        shards: usize,
+        processes: usize,
+        routing: Routing,
+        placement: PlacementConfig,
+    ) -> Self {
+        WfShardedUnbounded(ShardedUnbounded::new_placed(
+            shards, processes, routing, placement,
+        ))
     }
 
     /// Like [`WfShardedUnbounded::new`] with an explicit per-shard

@@ -6,38 +6,58 @@
 //! operations out over `S` independent shards (each a full wait-free
 //! [`wfqueue::unbounded::Queue`] or [`wfqueue::bounded::Queue`]), while
 //! every shard keeps the paper's polylogarithmic wait-free guarantees
-//! intact. Routing is pluggable ([`Routing`]):
+//! intact.
 //!
-//! * [`Routing::PerProducer`] — each handle pins to one shard for all of
-//!   its operations. Each shard's ordering tree is sized to the handles
-//!   that pin to it (`⌈p/S⌉` instead of `p`), so per-operation cost drops
-//!   from `O(log p)` to `O(log(p/S))` *and* root CASes spread over `S`
-//!   roots. This is the classic relaxed-queue contract: FIFO per producer,
-//!   no ordering across producers on different shards.
-//! * [`Routing::RoundRobin`] — a handle's enqueues rotate through the
-//!   shards (whole batches route to one shard); dequeues sweep. Best load
-//!   spread, but per-producer FIFO is **not** preserved across shards.
-//! * [`Routing::Rendezvous`] — enqueues pin per producer (so per-producer
-//!   FIFO holds), and dequeuers sweep all shards starting from a globally
-//!   rotating index, so concurrent dequeuers rendezvous with different
-//!   shards and no shard starves.
+//! # The routing layer
+//!
+//! Routing is a layered subsystem (see `DESIGN.md` § "Routing"):
+//!
+//! * [`policy::RoutePolicy`] — the pluggable decision layer: *placement*
+//!   (which shard an enqueue lands on) and *scan order* (which shards a
+//!   dequeue sweep probes, in which order) as two separate decisions.
+//! * [`placement`] — hardware topology: which shards share a cache
+//!   domain, and the precomputed nearest-first scan order per home shard.
+//!   (Distinct from `crates/core`'s *ordering-tree* topology — that one
+//!   is the paper's §3.1 proof artifact, this one is a locality artifact.)
+//! * [`Routing`] — the `Copy` configuration enum most callers use; each
+//!   variant resolves to a policy object via [`Routing::policy`]:
+//!
+//! | variant | enqueue | dequeue sweep | per-producer FIFO |
+//! |---|---|---|---|
+//! | [`Routing::PerProducer`] | pinned to home | home shard only | yes |
+//! | [`Routing::RoundRobin`] | rotates | all, from local cursor | no |
+//! | [`Routing::Rendezvous`] | pinned to home | all, from global rotating ticket | yes |
+//! | [`Routing::Nearest`] | pinned to home | all, hinted-nonempty nearest first | yes |
+//! | [`Routing::Adaptive`] | pinned to current home | all, hinted-nonempty nearest first | yes |
+//!
+//! `PerProducer` sizes each shard's tree to the handles pinned to it
+//! (`⌈p/S⌉` instead of `p`), so per-operation cost drops from `O(log p)`
+//! to `O(log(p/S))` *and* root CASes spread over `S` roots. `Nearest`
+//! replaces `Rendezvous`' global rotating ticket — a shared RMW on every
+//! sweep — with a scan that starts at the handle's own home shard and
+//! probes hinted-nonempty shards nearest first (per-shard `Relaxed`
+//! emptiness hints, [`policy::ShardHints`]), falling back over the rest so
+//! a `None` still witnesses a full sweep. `Adaptive` additionally re-homes
+//! a handle away from contended shards based on observed CAS-failure and
+//! empty-probe rates, through a FIFO-preserving gate
+//! ([`ShardedHandle::try_rehome`]).
 //!
 //! What the composite is *not*: a single linearizable FIFO queue (for
 //! `S > 1`). Each shard individually is linearizable, a producer's values
-//! are consumed in order under `PerProducer`/`Rendezvous` routing, and a
-//! `ShardedQueue` with `S = 1` is observationally identical to its inner
-//! queue — but values of different producers on different shards may be
-//! consumed in either order, and a `None` response only witnesses that the
-//! swept shards were individually empty at some point during the sweep, not
-//! that the composite was ever globally empty. See `DESIGN.md` for the full
-//! semantics discussion.
+//! are consumed in order under every pinning policy, and a `ShardedQueue`
+//! with `S = 1` is observationally identical to its inner queue — but
+//! values of different producers on different shards may be consumed in
+//! either order, and a `None` response only witnesses that the swept
+//! shards were individually empty at some point during the sweep, not
+//! that the composite was ever globally empty. See `DESIGN.md` for the
+//! full semantics discussion.
 //!
 //! Per-shard handles are acquired lazily through each shard's capped
 //! `register()`, so a sharded handle consumes a pid only on the shards it
 //! actually touches: an enqueue-only `PerProducer` producer occupies one
 //! pid on one shard, a sweeping dequeuer occupies one pid per swept shard.
-//! Shard capacities are verified up front ([`Routing::shard_capacity`]), so
-//! lazy registration can never fail at operation time.
+//! Shard capacities are verified up front ([`Routing::shard_capacity`]),
+//! so lazy registration can never fail at operation time.
 //!
 //! Batches ([`ShardedHandle::enqueue_batch`] /
 //! [`ShardedHandle::dequeue_batch`]) route whole batches to one shard, so
@@ -47,12 +67,20 @@
 
 #![deny(missing_docs)]
 
+pub mod placement;
+pub mod policy;
+
 use std::fmt;
 use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
 use wfqueue::bounded;
 use wfqueue::unbounded;
 
+pub use placement::{HwTopology, Placement, PlacementConfig, TopologySource};
+pub use policy::{
+    AdaptivePolicy, NearestPolicy, PerProducerPolicy, RendezvousPolicy, RoundRobinPolicy, RouteCtx,
+    RoutePolicy, RouterState, ShardHints,
+};
 pub use wfqueue::unbounded::ReclaimPolicy;
 
 // ---------------------------------------------------------------------------
@@ -186,7 +214,10 @@ impl<T: Clone + Send + Sync, F: bounded::StoreFamily> ShardHandle for bounded::H
 // Routing
 // ---------------------------------------------------------------------------
 
-/// How a [`ShardedQueue`] routes operations to shards.
+/// How a [`ShardedQueue`] routes operations to shards — the `Copy`
+/// configuration surface over the [`policy`] layer. Each variant resolves
+/// to a [`RoutePolicy`] object via [`Routing::policy`]; callers with a
+/// custom policy use [`ShardedQueue::build_with_policy`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Routing {
     /// Each handle pins to shard `index % S` for **all** of its operations.
@@ -210,6 +241,18 @@ pub enum Routing {
     /// index, so concurrent dequeuers start at different shards and no
     /// shard starves.
     Rendezvous,
+    /// The contention-aware scan ([`NearestPolicy`]): enqueues pin per
+    /// producer; dequeues probe hinted-nonempty shards nearest-first per
+    /// the queue's [`Placement`], then the rest — full coverage, FIFO per
+    /// producer, and **no shared RMW per sweep** (the rotating ticket is
+    /// replaced by handle-local state plus `Relaxed` advisory hints).
+    Nearest,
+    /// [`Routing::Nearest`]'s scan plus feedback-driven re-homing
+    /// ([`AdaptivePolicy`] with default thresholds): a handle observing
+    /// high CAS-failure or empty-probe rates moves its home to a quieter
+    /// nearby shard, through the FIFO-preserving gate
+    /// ([`ShardedHandle::try_rehome`]).
+    Adaptive,
 }
 
 impl Routing {
@@ -232,6 +275,7 @@ impl Routing {
     /// assert_eq!(Routing::PerProducer.shard_capacity(8, 3, 2), 2);
     /// // ... while sweeping policies may register every handle anywhere.
     /// assert_eq!(Routing::Rendezvous.shard_capacity(8, 3, 2), 8);
+    /// assert_eq!(Routing::Nearest.shard_capacity(8, 3, 2), 8);
     /// ```
     #[must_use]
     pub fn shard_capacity(self, max_handles: usize, num_shards: usize, shard: usize) -> usize {
@@ -239,7 +283,9 @@ impl Routing {
             Routing::PerProducer => {
                 max_handles / num_shards + usize::from(shard < max_handles % num_shards)
             }
-            Routing::RoundRobin | Routing::Rendezvous => max_handles,
+            Routing::RoundRobin | Routing::Rendezvous | Routing::Nearest | Routing::Adaptive => {
+                max_handles
+            }
         };
         cap.max(1)
     }
@@ -254,11 +300,35 @@ impl Routing {
     ///
     /// assert!(Routing::PerProducer.preserves_producer_fifo());
     /// assert!(Routing::Rendezvous.preserves_producer_fifo());
+    /// assert!(Routing::Nearest.preserves_producer_fifo());
+    /// assert!(Routing::Adaptive.preserves_producer_fifo());
     /// assert!(!Routing::RoundRobin.preserves_producer_fifo());
     /// ```
     #[must_use]
     pub fn preserves_producer_fifo(self) -> bool {
         !matches!(self, Routing::RoundRobin)
+    }
+
+    /// Resolves this variant into its [`RoutePolicy`] object (a fresh
+    /// instance — `Rendezvous`' rotating ticket is per queue, not global).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::Routing;
+    ///
+    /// let p = Routing::Nearest.policy();
+    /// assert!(p.preserves_producer_fifo() && p.full_coverage());
+    /// ```
+    #[must_use]
+    pub fn policy(self) -> Box<dyn RoutePolicy> {
+        match self {
+            Routing::PerProducer => Box::new(PerProducerPolicy),
+            Routing::RoundRobin => Box::new(RoundRobinPolicy),
+            Routing::Rendezvous => Box::new(RendezvousPolicy::default()),
+            Routing::Nearest => Box::new(NearestPolicy),
+            Routing::Adaptive => Box::new(AdaptivePolicy::default()),
+        }
     }
 }
 
@@ -284,11 +354,14 @@ impl Routing {
 /// ```
 pub struct ShardedQueue<Q: Shard> {
     shards: Vec<Q>,
-    routing: Routing,
+    policy: Box<dyn RoutePolicy>,
+    placement: Placement,
+    hints: ShardHints,
+    /// The [`Routing`] variant this queue was built from, when it was
+    /// (`None` for custom policy objects).
+    routing: Option<Routing>,
     max_handles: usize,
     next_handle: AtomicUsize,
-    /// Global rotating sweep-start ticket for [`Routing::Rendezvous`].
-    rendezvous: AtomicUsize,
 }
 
 /// A [`ShardedQueue`] over unbounded-space shards.
@@ -300,7 +373,9 @@ pub type ShardedBounded<T, F = bounded::TreapBacked> = ShardedQueue<bounded::Que
 impl<Q: Shard> ShardedQueue<Q> {
     /// Builds a sharded queue from `num_shards` shards produced by `make`,
     /// which receives each shard's required handle capacity
-    /// ([`Routing::shard_capacity`]).
+    /// ([`Routing::shard_capacity`]). Placement defaults to
+    /// [`PlacementConfig::Detect`] (only consulted by the topology-aware
+    /// policies).
     ///
     /// # Panics
     ///
@@ -323,12 +398,76 @@ impl<Q: Shard> ShardedQueue<Q> {
         num_shards: usize,
         max_handles: usize,
         routing: Routing,
+        make: impl FnMut(usize) -> Q,
+    ) -> Self {
+        Self::build_placed(
+            num_shards,
+            max_handles,
+            routing,
+            PlacementConfig::default(),
+            make,
+        )
+    }
+
+    /// Like [`ShardedQueue::build`] with an explicit [`PlacementConfig`]
+    /// (tests and reproducible benchmarks want
+    /// [`PlacementConfig::Uniform`] or [`PlacementConfig::Flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero, or if a produced
+    /// shard reports less capacity than required.
+    pub fn build_placed(
+        num_shards: usize,
+        max_handles: usize,
+        routing: Routing,
+        placement: PlacementConfig,
         mut make: impl FnMut(usize) -> Q,
     ) -> Self {
         let shards = (0..num_shards)
             .map(|s| make(routing.shard_capacity(max_handles, num_shards, s)))
             .collect();
-        Self::with_shards(shards, max_handles, routing)
+        Self::with_shards_placed(shards, max_handles, routing, placement)
+    }
+
+    /// Builds a sharded queue with a caller-supplied [`RoutePolicy`]
+    /// object — the fully pluggable entry point ([`Routing`] variants are
+    /// sugar over this). `make` receives each shard's required capacity
+    /// per [`RoutePolicy::shard_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero, or if a produced
+    /// shard reports less capacity than the policy requires.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{AdaptivePolicy, PlacementConfig, ShardedQueue};
+    ///
+    /// // An eager Adaptive queue with a deterministic placement.
+    /// let q = ShardedQueue::build_with_policy(
+    ///     2,
+    ///     2,
+    ///     Box::new(AdaptivePolicy::aggressive()),
+    ///     PlacementConfig::Flat,
+    ///     |cap| wfqueue::unbounded::Queue::<u64>::new(cap),
+    /// );
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue(1);
+    /// assert_eq!(h.dequeue(), Some(1));
+    /// ```
+    pub fn build_with_policy(
+        num_shards: usize,
+        max_handles: usize,
+        policy: Box<dyn RoutePolicy>,
+        placement: PlacementConfig,
+        mut make: impl FnMut(usize) -> Q,
+    ) -> Self {
+        let shards = (0..num_shards)
+            .map(|s| make(policy.shard_capacity(max_handles, num_shards, s)))
+            .collect();
+        Self::with_shards_policy_inner(shards, max_handles, policy, placement, None)
     }
 
     /// Builds a sharded queue over caller-constructed shards.
@@ -340,23 +479,73 @@ impl<Q: Shard> ShardedQueue<Q> {
     /// up-front check is what lets per-shard handles register lazily
     /// without a failure path at operation time.
     pub fn with_shards(shards: Vec<Q>, max_handles: usize, routing: Routing) -> Self {
+        Self::with_shards_placed(shards, max_handles, routing, PlacementConfig::default())
+    }
+
+    /// Like [`ShardedQueue::with_shards`] with an explicit
+    /// [`PlacementConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`ShardedQueue::with_shards`] does.
+    pub fn with_shards_placed(
+        shards: Vec<Q>,
+        max_handles: usize,
+        routing: Routing,
+        placement: PlacementConfig,
+    ) -> Self {
+        Self::with_shards_policy_inner(
+            shards,
+            max_handles,
+            routing.policy(),
+            placement,
+            Some(routing),
+        )
+    }
+
+    /// Builds over caller-constructed shards with a caller-supplied
+    /// [`RoutePolicy`] object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty, `max_handles` is zero, or any shard's
+    /// capacity is below [`RoutePolicy::shard_capacity`].
+    pub fn with_shards_policy(
+        shards: Vec<Q>,
+        max_handles: usize,
+        policy: Box<dyn RoutePolicy>,
+        placement: PlacementConfig,
+    ) -> Self {
+        Self::with_shards_policy_inner(shards, max_handles, policy, placement, None)
+    }
+
+    fn with_shards_policy_inner(
+        shards: Vec<Q>,
+        max_handles: usize,
+        policy: Box<dyn RoutePolicy>,
+        placement: PlacementConfig,
+        routing: Option<Routing>,
+    ) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(max_handles > 0, "need at least one handle");
         for (s, shard) in shards.iter().enumerate() {
-            let need = routing.shard_capacity(max_handles, shards.len(), s);
+            let need = policy.shard_capacity(max_handles, shards.len(), s);
             assert!(
                 shard.capacity() >= need,
-                "shard {s} has capacity {} but {routing:?} routing with {max_handles} \
+                "shard {s} has capacity {} but {policy:?} routing with {max_handles} \
                  handles requires {need}",
                 shard.capacity(),
             );
         }
+        let num_shards = shards.len();
         ShardedQueue {
             shards,
+            policy,
+            placement: placement.resolve(num_shards),
+            hints: ShardHints::new(num_shards),
             routing,
             max_handles,
             next_handle: AtomicUsize::new(0),
-            rendezvous: AtomicUsize::new(0),
         }
     }
 
@@ -372,10 +561,39 @@ impl<Q: Shard> ShardedQueue<Q> {
         self.max_handles
     }
 
-    /// The routing policy.
+    /// The [`Routing`] variant this queue was configured with, or `None`
+    /// when it was built from a custom [`RoutePolicy`] object.
     #[must_use]
-    pub fn routing(&self) -> Routing {
+    pub fn routing(&self) -> Option<Routing> {
         self.routing
+    }
+
+    /// The queue's routing policy object.
+    #[must_use]
+    pub fn policy(&self) -> &dyn RoutePolicy {
+        &*self.policy
+    }
+
+    /// The queue's resolved hardware placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The queue's advisory per-shard emptiness hints (maintained by the
+    /// feedback policies; exposed for introspection and tests).
+    #[must_use]
+    pub fn hints(&self) -> &ShardHints {
+        &self.hints
+    }
+
+    /// The read-only routing context passed into every policy call.
+    fn route_ctx(&self) -> RouteCtx<'_> {
+        RouteCtx {
+            num_shards: self.shards.len(),
+            placement: &self.placement,
+            hints: &self.hints,
+        }
     }
 
     /// The underlying shards (for introspection and per-shard invariant
@@ -412,9 +630,9 @@ impl<Q: Shard> ShardedQueue<Q> {
                     let num_shards = self.num_shards();
                     return Some(ShardedHandle {
                         queue: self,
-                        index,
                         inner: (0..num_shards).map(|_| None).collect(),
-                        cursor: index % num_shards,
+                        router: RouterState::new(index, num_shards),
+                        home_dirty: false,
                     });
                 }
                 Err(current) => index = current,
@@ -451,6 +669,42 @@ impl<T: Clone + Send + Sync> ShardedUnbounded<T> {
     #[must_use]
     pub fn new(num_shards: usize, max_handles: usize, routing: Routing) -> Self {
         Self::build(num_shards, max_handles, routing, unbounded::Queue::new)
+    }
+
+    /// Like [`ShardedUnbounded::new`] with an explicit [`PlacementConfig`]
+    /// for the topology-aware policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{PlacementConfig, Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> = ShardedUnbounded::new_placed(
+    ///     4,
+    ///     4,
+    ///     Routing::Nearest,
+    ///     PlacementConfig::Uniform { cpus: 8, domains: 2 },
+    /// );
+    /// assert_eq!(q.placement().num_domains(), 2);
+    /// ```
+    #[must_use]
+    pub fn new_placed(
+        num_shards: usize,
+        max_handles: usize,
+        routing: Routing,
+        placement: PlacementConfig,
+    ) -> Self {
+        Self::build_placed(
+            num_shards,
+            max_handles,
+            routing,
+            placement,
+            unbounded::Queue::new,
+        )
     }
 }
 
@@ -491,7 +745,32 @@ impl<T: Clone + Send + Sync + 'static> ShardedUnbounded<T> {
         routing: Routing,
         policy: ReclaimPolicy,
     ) -> Self {
-        Self::build(num_shards, max_handles, routing, |cap| {
+        Self::with_reclaim_placed(
+            num_shards,
+            max_handles,
+            routing,
+            policy,
+            PlacementConfig::default(),
+        )
+    }
+
+    /// Like [`ShardedUnbounded::with_reclaim`] with an explicit
+    /// [`PlacementConfig`] (the combination the channel facade's sharded
+    /// backend uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `max_handles` is zero, or if the policy's
+    /// period is zero.
+    #[must_use]
+    pub fn with_reclaim_placed(
+        num_shards: usize,
+        max_handles: usize,
+        routing: Routing,
+        policy: ReclaimPolicy,
+        placement: PlacementConfig,
+    ) -> Self {
+        Self::build_placed(num_shards, max_handles, routing, placement, |cap| {
             unbounded::Queue::with_reclaim(cap, policy)
         })
     }
@@ -543,7 +822,8 @@ impl<Q: Shard> fmt::Debug for ShardedQueue<Q> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedQueue")
             .field("num_shards", &self.num_shards())
-            .field("routing", &self.routing)
+            .field("policy", &self.policy)
+            .field("placement", &format_args!("{}", self.placement))
             .field("max_handles", &self.max_handles)
             .field("handles_taken", &self.next_handle.load(Ordering::Relaxed))
             .finish()
@@ -562,18 +842,21 @@ impl<Q: Shard> fmt::Debug for ShardedQueue<Q> {
 /// construction, so lazy registration cannot fail.
 pub struct ShardedHandle<'q, Q: Shard> {
     queue: &'q ShardedQueue<Q>,
-    index: usize,
     /// Lazily-registered per-shard handles, indexed by shard.
     inner: Vec<Option<Q::Handle<'q>>>,
-    /// Local rotation cursor ([`Routing::RoundRobin`]).
-    cursor: usize,
+    /// Handle-local routing state (home, cursor, scan buffer, feedback
+    /// window) threaded through every policy call.
+    router: RouterState,
+    /// Whether this handle has enqueued on its current home since it was
+    /// homed there — the flag the FIFO re-home gate checks.
+    home_dirty: bool,
 }
 
 impl<'q, Q: Shard> ShardedHandle<'q, Q> {
     /// This handle's composite index (`0..max_handles`).
     #[must_use]
     pub fn handle_index(&self) -> usize {
-        self.index
+        self.router.handle_index()
     }
 
     /// The sharded queue this handle belongs to.
@@ -582,9 +865,12 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
         self.queue
     }
 
-    /// The shard this handle pins to under pinning policies.
-    fn pin(&self) -> usize {
-        self.index % self.queue.num_shards()
+    /// This handle's current home shard: where pinning policies place its
+    /// enqueues and where nearest-first scans start. Initially
+    /// `handle_index % num_shards`.
+    #[must_use]
+    pub fn home_shard(&self) -> usize {
+        self.router.home()
     }
 
     /// Lazily registers on shard `s` and returns its handle.
@@ -598,36 +884,73 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
         self.inner[s].as_mut().expect("just registered")
     }
 
-    /// Shard receiving this handle's next enqueue (or enqueue batch).
-    fn enqueue_shard(&mut self) -> usize {
-        match self.queue.routing {
-            Routing::PerProducer | Routing::Rendezvous => self.pin(),
-            Routing::RoundRobin => self.advance_cursor(),
+    /// Moves this handle's home to `target` **iff** per-producer FIFO is
+    /// provably preserved, returning whether the move happened.
+    ///
+    /// The gate: the move is allowed when this handle has not enqueued on
+    /// its current home since being homed there, or when the home's
+    /// [`Shard::approx_len`] reads 0 — an emptiness witness at an instant
+    /// after the handle's last home enqueue, proving all its values there
+    /// were already consumed. Either way every value it enqueues after the
+    /// move is dequeued (by any consumer, and in linearization order)
+    /// after all its values from before the move: FIFO per producer holds
+    /// across arbitrarily many re-homes. See `DESIGN.md` § "Routing".
+    ///
+    /// Used by the `Adaptive` policy's re-route commits and available
+    /// directly to callers that pin threads (see
+    /// [`ShardedHandle::try_pin_to_cpu`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfqueue_shard::{PlacementConfig, Routing, ShardedUnbounded};
+    ///
+    /// let q: ShardedUnbounded<u64> =
+    ///     ShardedUnbounded::new_placed(2, 1, Routing::Nearest, PlacementConfig::Flat);
+    /// let mut h = q.try_handle().unwrap();
+    /// h.enqueue(1);
+    /// assert!(!h.try_rehome(1), "home shard still holds our value");
+    /// assert_eq!(h.dequeue(), Some(1));
+    /// assert!(h.try_rehome(1), "drained home releases the gate");
+    /// assert_eq!(h.home_shard(), 1);
+    /// ```
+    pub fn try_rehome(&mut self, target: usize) -> bool {
+        assert!(target < self.queue.num_shards(), "no such shard");
+        let home = self.router.home();
+        if target == home {
+            return true;
         }
+        if self.home_dirty && self.queue.shards[home].approx_len() != 0 {
+            return false;
+        }
+        self.router.set_home(target);
+        self.home_dirty = false;
+        wfqueue_metrics::record_reroute();
+        true
     }
 
-    /// `(start, length)` of this handle's next dequeue sweep.
-    fn sweep(&mut self) -> (usize, usize) {
-        let num_shards = self.queue.num_shards();
-        match self.queue.routing {
-            Routing::PerProducer => (self.pin(), 1),
-            Routing::RoundRobin => (self.advance_cursor(), num_shards),
-            Routing::Rendezvous => {
-                // One shared fetch_add per sweep; approximate the
-                // (uninstrumented) wait-free RMW as a load + store in the
-                // step-count model.
-                wfqueue_metrics::record_shared_load();
-                wfqueue_metrics::record_shared_store();
-                let ticket = self.queue.rendezvous.fetch_add(1, Ordering::Relaxed);
-                (ticket % num_shards, num_shards)
-            }
-        }
+    /// Re-homes this handle near `cpu`'s cache domain (via
+    /// [`Placement::home_for_cpu`]) through the same FIFO gate as
+    /// [`ShardedHandle::try_rehome`], returning whether the move happened.
+    /// Call right after pinning the owning thread to a CPU, before the
+    /// first enqueue, for guaranteed success.
+    pub fn try_pin_to_cpu(&mut self, cpu: usize) -> bool {
+        let target = self
+            .queue
+            .placement
+            .home_for_cpu(cpu, self.router.handle_index());
+        self.try_rehome(target)
     }
 
-    fn advance_cursor(&mut self) -> usize {
-        let s = self.cursor;
-        self.cursor = (self.cursor + 1) % self.queue.num_shards();
-        s
+    /// Commits a policy-proposed re-route, if any, through the FIFO gate.
+    fn maybe_reroute(&mut self) {
+        let queue = self.queue;
+        if let Some(target) = queue
+            .policy
+            .propose_reroute(&queue.route_ctx(), &mut self.router)
+        {
+            let _ = self.try_rehome(target);
+        }
     }
 
     /// Appends `value` to the shard selected by the routing policy.
@@ -643,27 +966,57 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
     /// assert_eq!(q.approx_len(), 1);
     /// ```
     pub fn enqueue(&mut self, value: Q::Item) {
-        let s = self.enqueue_shard();
-        self.shard(s).enqueue(value);
+        let queue = self.queue;
+        let feedback = queue.policy.wants_feedback();
+        if feedback {
+            // Review the feedback window *before* placing: a re-route can
+            // only pass the FIFO gate while the home is drained, and it
+            // must take effect for the value about to be placed.
+            self.maybe_reroute();
+        }
+        let s = queue.policy.place(&queue.route_ctx(), &mut self.router);
+        if s == self.router.home() {
+            self.home_dirty = true;
+        }
+        if feedback {
+            let before = wfqueue_metrics::snapshot();
+            self.shard(s).enqueue(value);
+            let delta = wfqueue_metrics::snapshot() - before;
+            queue.hints.mark_nonempty(s);
+            self.router.note_enqueue(delta.cas_failure);
+        } else {
+            self.shard(s).enqueue(value);
+        }
     }
 
-    /// Dequeues from the shards of this handle's sweep, returning the first
-    /// value found.
+    /// Dequeues from the shards of this handle's planned scan, returning
+    /// the first value found.
     ///
-    /// `None` means every swept shard was individually empty at its
+    /// `None` means every scanned shard was individually empty at its
     /// dequeue's linearization point — under [`Routing::PerProducer`] that
-    /// is exactly "this handle's shard was empty"; under the sweeping
+    /// is exactly "this handle's shard was empty"; under the full-coverage
     /// policies it is *not* a witness that the composite was ever globally
     /// empty (another shard may have held values while an earlier one was
     /// probed).
     #[must_use = "a dequeued value should be used (None means the swept shards were empty)"]
     pub fn dequeue(&mut self) -> Option<Q::Item> {
-        let (start, len) = self.sweep();
-        let num_shards = self.queue.num_shards();
-        for k in 0..len {
-            let s = (start + k) % num_shards;
-            if let Some(value) = self.shard(s).dequeue() {
-                return Some(value);
+        let queue = self.queue;
+        queue.policy.plan_scan(&queue.route_ctx(), &mut self.router);
+        let feedback = queue.policy.wants_feedback();
+        for k in 0..self.router.scan().len() {
+            let s = self.router.scan()[k];
+            let got = self.shard(s).dequeue();
+            if feedback {
+                if got.is_some() {
+                    self.router.note_probe(true);
+                } else {
+                    queue.hints.mark_empty(s);
+                    self.router.note_probe(false);
+                    wfqueue_metrics::record_empty_probe();
+                }
+            }
+            if got.is_some() {
+                return got;
             }
         }
         None
@@ -696,15 +1049,33 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
         if values.is_empty() {
             return;
         }
-        let s = self.enqueue_shard();
-        self.shard(s).enqueue_batch(values);
+        let queue = self.queue;
+        let feedback = queue.policy.wants_feedback();
+        if feedback {
+            // As in `enqueue`: review before placing so a passed gate
+            // applies to this batch.
+            self.maybe_reroute();
+        }
+        let s = queue.policy.place(&queue.route_ctx(), &mut self.router);
+        if s == self.router.home() {
+            self.home_dirty = true;
+        }
+        if feedback {
+            let before = wfqueue_metrics::snapshot();
+            self.shard(s).enqueue_batch(values);
+            let delta = wfqueue_metrics::snapshot() - before;
+            queue.hints.mark_nonempty(s);
+            self.router.note_enqueue(delta.cas_failure);
+        } else {
+            self.shard(s).enqueue_batch(values);
+        }
     }
 
-    /// Performs `count` dequeues, sweeping the shards of this handle's
-    /// sweep with **one native batch per swept shard** (so each touched
+    /// Performs `count` dequeues, following this handle's planned scan
+    /// with **one native batch per scanned shard** (so each touched
     /// shard pays one leaf block + one propagation). Values are returned in
     /// consumption order; the vec is padded with `None` to length `count`
-    /// once the sweep is exhausted.
+    /// once the scan is exhausted.
     ///
     /// # Examples
     ///
@@ -727,26 +1098,36 @@ impl<'q, Q: Shard> ShardedHandle<'q, Q> {
         if count == 0 {
             return Vec::new();
         }
-        let (start, len) = self.sweep();
-        let num_shards = self.queue.num_shards();
+        let queue = self.queue;
+        queue.policy.plan_scan(&queue.route_ctx(), &mut self.router);
+        let feedback = queue.policy.wants_feedback();
         let mut out: Vec<Option<Q::Item>> = Vec::with_capacity(count);
-        for k in 0..len {
+        for k in 0..self.router.scan().len() {
             if out.len() == count {
                 break;
             }
-            let s = (start + k) % num_shards;
+            let s = self.router.scan()[k];
             let responses = self.shard(s).dequeue_batch(count - out.len());
             // A batch's dequeues are contiguous in its shard's
             // linearization, so responses are a Some-prefix followed by
             // Nones; keep only the values and let the next shard of the
-            // sweep serve the remainder.
+            // scan serve the remainder.
             out.extend(responses.into_iter().flatten().map(Some));
+            if feedback {
+                // The shard ran dry iff it could not fill the remainder.
+                let dry = out.len() < count;
+                if dry {
+                    queue.hints.mark_empty(s);
+                    wfqueue_metrics::record_empty_probe();
+                }
+                self.router.note_probe(!dry);
+            }
         }
         out.resize_with(count, || None);
         out
     }
 
-    /// Dequeues (sweeping per the routing policy) until a sweep comes back
+    /// Dequeues (scanning per the routing policy) until a scan comes back
     /// empty, yielding each value. Lazy, like the underlying queues'
     /// `drain`.
     pub fn drain<'a>(&'a mut self) -> impl Iterator<Item = Q::Item> + use<'a, 'q, Q> {
@@ -763,8 +1144,9 @@ impl<Q: Shard> fmt::Debug for ShardedHandle<'_, Q> {
             .filter_map(|(s, h)| h.is_some().then_some(s))
             .collect();
         f.debug_struct("ShardedHandle")
-            .field("index", &self.index)
-            .field("routing", &self.queue.routing)
+            .field("index", &self.router.handle_index())
+            .field("home", &self.router.home())
+            .field("policy", &self.queue.policy)
             .field("touched_shards", &touched)
             .finish()
     }
@@ -773,6 +1155,15 @@ impl<Q: Shard> fmt::Debug for ShardedHandle<'_, Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every Routing variant, for exhaustive little loops.
+    const ALL: [Routing; 5] = [
+        Routing::PerProducer,
+        Routing::RoundRobin,
+        Routing::Rendezvous,
+        Routing::Nearest,
+        Routing::Adaptive,
+    ];
 
     #[test]
     fn shard_capacity_per_policy() {
@@ -783,19 +1174,37 @@ mod tests {
         // Sweeping policies may register every handle everywhere.
         assert_eq!(Routing::Rendezvous.shard_capacity(8, 3, 2), 8);
         assert_eq!(Routing::RoundRobin.shard_capacity(8, 3, 0), 8);
+        assert_eq!(Routing::Nearest.shard_capacity(8, 3, 1), 8);
+        assert_eq!(Routing::Adaptive.shard_capacity(8, 3, 1), 8);
         // Never zero, even for shards no handle pins to.
         assert_eq!(Routing::PerProducer.shard_capacity(2, 4, 3), 1);
     }
 
     #[test]
+    fn enum_agrees_with_its_policy_objects() {
+        for routing in ALL {
+            let policy = routing.policy();
+            assert_eq!(
+                routing.preserves_producer_fifo(),
+                policy.preserves_producer_fifo(),
+                "{routing:?}"
+            );
+            for (p, s, shard) in [(8, 3, 0), (8, 3, 2), (2, 4, 3), (1, 1, 0)] {
+                assert_eq!(
+                    routing.shard_capacity(p, s, shard),
+                    policy.shard_capacity(p, s, shard),
+                    "{routing:?} cap({p},{s},{shard})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn round_trip_all_policies_unbounded() {
-        for routing in [
-            Routing::PerProducer,
-            Routing::RoundRobin,
-            Routing::Rendezvous,
-        ] {
+        for routing in ALL {
             for shards in [1usize, 2, 3] {
-                let q: ShardedUnbounded<u64> = ShardedUnbounded::new(shards, 2, routing);
+                let q: ShardedUnbounded<u64> =
+                    ShardedUnbounded::new_placed(shards, 2, routing, PlacementConfig::Flat);
                 let mut h = q.try_handle().unwrap();
                 for v in 0..10 {
                     h.enqueue(v);
@@ -863,6 +1272,99 @@ mod tests {
     }
 
     #[test]
+    fn nearest_scan_reaches_every_shard() {
+        let q: ShardedUnbounded<u64> =
+            ShardedUnbounded::new_placed(3, 3, Routing::Nearest, PlacementConfig::Flat);
+        let mut handles = q.handles();
+        for (i, h) in handles.iter_mut().enumerate() {
+            h.enqueue(i as u64);
+        }
+        // One consumer finds all three values despite two living on
+        // non-home shards (the fallback pass covers hinted-empty shards
+        // too, so nothing is ever stranded).
+        let mut got: Vec<u64> = handles[0].drain().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        // All probes came back empty at the end, so every hint is lowered.
+        for s in 0..3 {
+            assert!(!q.hints().maybe_nonempty(s), "hint {s} still raised");
+        }
+        // A fresh enqueue re-raises its shard's hint.
+        handles[1].enqueue(9);
+        assert!(q.hints().maybe_nonempty(handles[1].home_shard()));
+    }
+
+    #[test]
+    fn nearest_prefers_home_shard_first() {
+        let q: ShardedUnbounded<u64> =
+            ShardedUnbounded::new_placed(2, 2, Routing::Nearest, PlacementConfig::Flat);
+        let mut handles = q.handles();
+        let (a, b) = handles.split_at_mut(1);
+        let (h0, h1) = (&mut a[0], &mut b[0]);
+        h0.enqueue(10);
+        h1.enqueue(11);
+        // Each consumer's scan starts at its own home: it drains its own
+        // value first even though both shards are hinted nonempty.
+        assert_eq!(h0.dequeue(), Some(10));
+        assert_eq!(h1.dequeue(), Some(11));
+    }
+
+    #[test]
+    fn rehome_gate_blocks_until_home_drained() {
+        let q: ShardedUnbounded<u64> =
+            ShardedUnbounded::new_placed(2, 1, Routing::Adaptive, PlacementConfig::Flat);
+        let mut h = q.try_handle().unwrap();
+        assert_eq!(h.home_shard(), 0);
+        h.enqueue(1);
+        assert!(!h.try_rehome(1), "home still holds our value");
+        assert_eq!(h.home_shard(), 0);
+        assert_eq!(h.dequeue(), Some(1));
+        assert!(h.try_rehome(1), "drained home releases the gate");
+        assert_eq!(h.home_shard(), 1);
+        // Values enqueued after the move land on the new home.
+        h.enqueue(2);
+        assert_eq!(q.shards()[1].approx_len(), 1);
+        assert_eq!(q.shards()[0].approx_len(), 0);
+        assert_eq!(h.dequeue(), Some(2));
+    }
+
+    #[test]
+    fn rehome_before_first_enqueue_is_free() {
+        let q: ShardedUnbounded<u64> =
+            ShardedUnbounded::new_placed(4, 1, Routing::Nearest, PlacementConfig::Flat);
+        let mut h = q.try_handle().unwrap();
+        assert!(h.try_rehome(3), "clean handle moves freely");
+        assert_eq!(h.home_shard(), 3);
+        let ok = h.try_pin_to_cpu(0);
+        assert!(ok, "clean handle pins freely");
+    }
+
+    #[test]
+    fn adaptive_rehomes_under_pressure() {
+        // Aggressive adaptive: review after every enqueue, re-route on any
+        // signal. A producer whose consumer keeps its home drained will
+        // re-home as soon as scans report empties.
+        let q = ShardedQueue::build_with_policy(
+            4,
+            1,
+            Box::new(AdaptivePolicy::aggressive()),
+            PlacementConfig::Flat,
+            unbounded::Queue::<u64>::new,
+        );
+        let mut h = q.try_handle().unwrap();
+        let mut homes = vec![h.home_shard()];
+        for v in 0..32 {
+            h.enqueue(v);
+            assert_eq!(h.dequeue(), Some(v), "drain keeps the gate open");
+            homes.push(h.home_shard());
+        }
+        homes.dedup();
+        assert!(homes.len() > 1, "aggressive adaptive never re-homed");
+        // Single producer + in-order drain: FIFO trivially held above
+        // (asserted by the per-value dequeue equality).
+    }
+
+    #[test]
     fn round_robin_sprays_enqueues() {
         let q: ShardedUnbounded<u64> = ShardedUnbounded::new(3, 1, Routing::RoundRobin);
         let mut h = q.try_handle().unwrap();
@@ -893,6 +1395,20 @@ mod tests {
         );
         h.enqueue_batch(Vec::new()); // no-op, does not advance the cursor
         assert_eq!(q.approx_len(), 0);
+    }
+
+    #[test]
+    fn nearest_batches_round_trip() {
+        let q: ShardedUnbounded<u64> =
+            ShardedUnbounded::new_placed(2, 2, Routing::Nearest, PlacementConfig::Flat);
+        let mut handles = q.handles();
+        handles[0].enqueue_batch(vec![1, 2]); // home shard 0
+        handles[1].enqueue_batch(vec![3, 4]); // home shard 1
+                                              // Handle 0's scan starts at its home: its own batch drains first.
+        assert_eq!(
+            handles[0].dequeue_batch(5),
+            vec![Some(1), Some(2), Some(3), Some(4), None]
+        );
     }
 
     #[test]
@@ -953,11 +1469,7 @@ mod tests {
 
     #[test]
     fn s1_behaves_like_inner_queue() {
-        for routing in [
-            Routing::PerProducer,
-            Routing::RoundRobin,
-            Routing::Rendezvous,
-        ] {
+        for routing in ALL {
             let q: ShardedUnbounded<u64> = ShardedUnbounded::new(1, 2, routing);
             let mut h = q.try_handle().unwrap();
             h.enqueue(1);
@@ -965,6 +1477,45 @@ mod tests {
             assert_eq!(h.dequeue(), Some(1));
             assert_eq!(h.dequeue_batch(3), vec![Some(2), Some(3), None]);
             assert_eq!(h.dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn routing_accessor_reports_configuration() {
+        let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 2, Routing::Nearest);
+        assert_eq!(q.routing(), Some(Routing::Nearest));
+        let custom = ShardedQueue::build_with_policy(
+            2,
+            2,
+            Box::new(NearestPolicy),
+            PlacementConfig::Flat,
+            unbounded::Queue::<u64>::new,
+        );
+        assert_eq!(custom.routing(), None);
+        assert!(format!("{custom:?}").contains("NearestPolicy"));
+    }
+
+    #[test]
+    fn legacy_policies_record_no_hint_steps() {
+        // The feedback machinery must be invisible to legacy routings:
+        // their step counts are asserted byte-for-byte against the
+        // pre-refactor enum in tests/legacy_parity.rs; here we pin the
+        // mechanism (no hint loads/stores outside wants_feedback).
+        for routing in [
+            Routing::PerProducer,
+            Routing::RoundRobin,
+            Routing::Rendezvous,
+        ] {
+            let q: ShardedUnbounded<u64> = ShardedUnbounded::new(2, 1, routing);
+            let mut h = q.try_handle().unwrap();
+            h.enqueue(1);
+            let hints_before = format!("{:?}", q.hints());
+            let _ = h.dequeue();
+            assert_eq!(
+                format!("{:?}", q.hints()),
+                hints_before,
+                "{routing:?} touched the hints"
+            );
         }
     }
 }

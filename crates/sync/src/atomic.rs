@@ -5,7 +5,7 @@
 //! `std` counterpart with `#[inline]` passthrough methods, so default
 //! builds compile to exactly the raw instructions. Under
 //! `feature = "model"` every operation first asks whether the current
-//! thread is running inside a [`crate::model::explore`] schedule; if so the
+//! thread is running inside a `crate::model::explore` schedule; if so the
 //! operation is routed through the modeled memory system (which tracks
 //! happens-before and may serve *stale but legal* values to weakly-ordered
 //! loads), otherwise it falls through to the real atomic.

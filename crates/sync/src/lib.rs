@@ -12,7 +12,7 @@
 //!    produce.
 //! 2. **In verification builds the facade is a probe.** With
 //!    `feature = "model"` enabled, an atomic operation executed *inside a
-//!    [`model::explore`] run* is routed through a modeled memory system
+//!    `model::explore` run* is routed through a modeled memory system
 //!    that tracks happens-before with vector clocks, lets weakly-ordered
 //!    loads return stale values, and explores thread interleavings
 //!    exhaustively under a preemption bound — so a missing fence or a
@@ -28,10 +28,11 @@
 //! * [`thread`] — `spawn`/`scope`/`yield_now`/… re-exports: the drop-in
 //!   `std::thread` surface ([`thread::yield_now`] additionally acts as a
 //!   scheduling point inside a model run).
-//! * [`model`] (`feature = "model"`) — the interleaving explorer:
-//!   [`model::explore`], [`model::spawn`], modeled [`model::Mutex`] /
-//!   [`model::Condvar`], and [`model::protocols`], the small-scale
-//!   executable replicas of this repository's trickiest protocols.
+//! * `model` (`feature = "model"`; links resolve only when the module is
+//!   compiled in) — the interleaving explorer: `model::explore`,
+//!   `model::spawn`, modeled `model::Mutex` / `model::Condvar`, and
+//!   `model::protocols`, the small-scale executable replicas of this
+//!   repository's trickiest protocols.
 //!
 //! # Example
 //!

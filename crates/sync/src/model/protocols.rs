@@ -11,14 +11,17 @@
 //! | [`signal_scenario`] | `Signal` in `crates/channel/src/wait.rs` | no lost wakeup (a parked waiter is always woken) |
 //! | [`gate_scenario`] | `try_reserve`/`release` in `crates/channel/src/endpoint.rs` | capacity never exceeded; a reserved slot's previous cleanup is visible |
 //! | [`hazard_scenario`] | `begin_op`/`truncate_locked` in `crates/core/src/unbounded/reclaim.rs` | the truncator never frees a slot a published hazard still clamps to |
+//! | [`scan_scenario`] | `plan_nearest_scan`/`ShardHints` in `crates/shard/src/policy.rs` | an enqueued value is never stranded by a stale `Relaxed` emptiness hint (the fallback pass makes correctness hint-independent) |
+//! | [`reroute_scenario`] | `ShardedHandle::try_rehome` in `crates/shard/src/lib.rs` | per-producer FIFO survives a re-home (the emptiness-witness gate) |
 //!
-//! The bug structs ([`SignalBugs`], [`GateBugs`], [`HazardBugs`]) switch
-//! individual lines of the protocols off or weaken their orderings. With
-//! all flags `false` the scenarios must survive *every* schedule
-//! (`tests/model.rs` asserts exhaustive passes); with any flag `true` the
-//! explorer must find a failing schedule (`tests/checker_power.rs`
-//! asserts detection — that is the evidence the checker has teeth, not
-//! just that the protocols are green).
+//! The bug structs ([`SignalBugs`], [`GateBugs`], [`HazardBugs`],
+//! [`ScanBugs`], [`RerouteBugs`]) switch individual lines of the
+//! protocols off or weaken their orderings. With all flags `false` the
+//! scenarios must survive *every* schedule (`tests/model.rs` asserts
+//! exhaustive passes); with any flag `true` the explorer must find a
+//! failing schedule (`tests/checker_power.rs` asserts detection — that is
+//! the evidence the checker has teeth, not just that the protocols are
+//! green).
 //!
 //! Replicas, not the real types, are what get checked because the real
 //! hot paths intermix metrics recording and epoch pins that are sound by
@@ -120,7 +123,7 @@ impl SignalProto {
 }
 
 /// The no-lost-wakeup scenario: `1 + usize::from(extra_waiter)` waiters
-/// block on a [`SignalProto`] for a data flag the main thread publishes
+/// block on a `SignalProto` for a data flag the main thread publishes
 /// with `Release` (deliberately *not* `SeqCst`: the real notifier's state
 /// update — an enqueue — is not SC either, which is exactly why `notify`
 /// needs its fence) followed by `notify`. Every waiter must terminate;
@@ -381,5 +384,151 @@ pub fn hazard_scenario(bugs: HazardBugs) -> impl Fn() + Send + Sync + 'static {
         // `end_op`: clear the hazard.
         hazard.store(IDLE, Ordering::SeqCst);
         truncator.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nearest scan: hint-guided probing with an unconditional fallback pass
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`scan_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanBugs {
+    /// Skip the scan's second, hint-ignoring pass over all shards. The
+    /// hints are `Relaxed` and advisory; a consumer that trusts them
+    /// exclusively can read a stale `false` for a shard that holds a
+    /// value *forever* (coherence permits it — nothing ever synchronises
+    /// the hint store to this reader), and spin without ever probing the
+    /// shard: a stranded value, detected as a livelock.
+    pub skip_fallback: bool,
+}
+
+/// Replica of the contention-aware dequeue scan
+/// (`plan_nearest_scan` + `ShardHints` in `crates/shard/src/policy.rs`):
+/// two shards, modeled as one-value cells (`0` = empty, probe =
+/// `swap(0, SeqCst)`, standing in for the shard dequeue whose own
+/// protocol is `SeqCst`-heavy), and two `Relaxed` advisory emptiness
+/// hints. A producer deposits 7 in the *far* shard and only then raises
+/// its hint — exactly `mark_nonempty`'s ordering — while the hint starts
+/// lowered, as it is after a previous empty scan. The consumer runs the
+/// real scan shape: pass 1 probes shards whose hint reads raised, pass 2
+/// probes every shard regardless. In every schedule the consumer must
+/// find the value: pass 2's `SeqCst` probe reads the newest cell state
+/// no matter how stale the hint it saw was, which is the whole argument
+/// for why the hints can stay `Relaxed`.
+pub fn scan_scenario(bugs: ScanBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        const SHARDS: usize = 2;
+        let cells: Arc<Vec<AtomicU64>> = Arc::new((0..SHARDS).map(|_| AtomicU64::new(0)).collect());
+        let hints: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..SHARDS).map(|_| AtomicUsize::new(0)).collect());
+        let (cells_p, hints_p) = (Arc::clone(&cells), Arc::clone(&hints));
+        let producer = spawn(move || {
+            // Enqueue to the far shard, then mark_nonempty: the hint is
+            // raised *after* the value is visible, so a raised hint is
+            // never a false promise — but a lowered one can be stale.
+            cells_p[1].store(7, Ordering::SeqCst);
+            hints_p[1].store(1, Ordering::Relaxed);
+        });
+        // The consumer: plan_nearest_scan's two passes, repeated until
+        // the value surfaces (the real caller retries via its waiter).
+        let found = loop {
+            let mut got = None;
+            // Pass 1: nearest-first over shards whose hint is raised.
+            for s in 0..SHARDS {
+                if hints[s].load(Ordering::Relaxed) != 0 {
+                    let v = cells[s].swap(0, Ordering::SeqCst);
+                    if v != 0 {
+                        got = Some(v);
+                        break;
+                    }
+                }
+            }
+            // Pass 2: every shard, hints be damned — the coverage
+            // guarantee that makes the hints advisory-only.
+            if got.is_none() && !bugs.skip_fallback {
+                for s in 0..SHARDS {
+                    let v = cells[s].swap(0, Ordering::SeqCst);
+                    if v != 0 {
+                        got = Some(v);
+                        break;
+                    }
+                }
+            }
+            if let Some(v) = got {
+                break v;
+            }
+            crate::thread::yield_now();
+        };
+        assert_eq!(found, 7, "scan surfaced a value nobody enqueued");
+        producer.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive re-home: the emptiness-witness gate
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`reroute_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RerouteBugs {
+    /// Skip the gate's emptiness witness — re-home immediately instead
+    /// of waiting for the old home shard to drain. The producer's later
+    /// values then land on the new shard while earlier ones still sit on
+    /// the old one, and a consumer whose scan reaches the new shard
+    /// first consumes them out of order: the per-producer FIFO
+    /// violation `try_rehome`'s gate exists to rule out.
+    pub skip_empty_check: bool,
+}
+
+/// Replica of `ShardedHandle::try_rehome`
+/// (`crates/shard/src/lib.rs`): a producer enqueues value 1 to its home
+/// shard A, re-homes to shard B through the gate — *re-home only once
+/// the old home is observed empty* (`approx_len() == 0`, here a `SeqCst`
+/// load reading 0) — then enqueues value 2 to its new home. A consumer
+/// whose nearest-first order is B-then-A drains both values. In every
+/// schedule it must see 1 before 2: the producer reading A empty means
+/// the consumer's probe of A already happened, so value 2 cannot be
+/// consumed first. Shards are one-value cells as in [`scan_scenario`].
+pub fn reroute_scenario(bugs: RerouteBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let shard_a = Arc::new(AtomicU64::new(0));
+        let shard_b = Arc::new(AtomicU64::new(0));
+        let (a_p, b_p) = (Arc::clone(&shard_a), Arc::clone(&shard_b));
+        let producer = spawn(move || {
+            // Enqueue seq 1 on the current home, A.
+            a_p.store(1, Ordering::SeqCst);
+            // try_rehome(B): the gate demands an emptiness witness for A
+            // *after* A's last enqueue. The producer's own store of 1 is
+            // coherence-ordered before this load, so reading 0 proves a
+            // consumer drained it.
+            if !bugs.skip_empty_check {
+                while a_p.load(Ordering::SeqCst) != 0 {
+                    crate::thread::yield_now();
+                }
+            }
+            // Home is now B; enqueue seq 2 there.
+            b_p.store(2, Ordering::SeqCst);
+        });
+        // The consumer: nearest-first scan order is B-then-A (its own
+        // home is B), probing until both values drained.
+        let mut order = Vec::new();
+        while order.len() < 2 {
+            for cell in [&shard_b, &shard_a] {
+                let v = cell.swap(0, Ordering::SeqCst);
+                if v != 0 {
+                    order.push(v);
+                }
+            }
+            if order.len() < 2 {
+                crate::thread::yield_now();
+            }
+        }
+        assert_eq!(
+            order,
+            [1, 2],
+            "re-homed producer's values consumed out of order"
+        );
+        producer.join();
     }
 }

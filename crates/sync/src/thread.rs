@@ -6,7 +6,7 @@
 //! and keep the doorway single. Two functions are wrapped rather than
 //! re-exported:
 //!
-//! * [`yield_now`] — inside a [`crate::model::explore`] run it is a pure
+//! * [`yield_now`] — inside a `crate::model::explore` run it is a pure
 //!   *scheduling point* (the model may switch threads there, which is what
 //!   a spin-loop author means by yielding); outside it is
 //!   [`std::thread::yield_now`].
@@ -15,19 +15,19 @@
 //!
 //! OS-thread creation (`spawn`/`scope`) is intentionally **not** modeled:
 //! code under the model checker creates its virtual threads with
-//! [`crate::model::spawn`], and the model run aborts with a clear message
+//! `crate::model::spawn`, and the model run aborts with a clear message
 //! if real spawning sneaks in (checked in `model::explore`'s scheduler,
 //! which controls every participating thread).
 
 pub use std::thread::{
-    current, panicking, park, park_timeout, scope, spawn, Builder, JoinHandle, Scope,
-    ScopedJoinHandle, Thread,
+    available_parallelism, current, panicking, park, park_timeout, scope, spawn, Builder,
+    JoinHandle, Scope, ScopedJoinHandle, Thread,
 };
 
 use std::time::Duration;
 
 /// Cooperatively yields: a model scheduling point inside
-/// [`crate::model::explore`], [`std::thread::yield_now`] otherwise.
+/// `crate::model::explore`, [`std::thread::yield_now`] otherwise.
 #[inline]
 pub fn yield_now() {
     #[cfg(feature = "model")]

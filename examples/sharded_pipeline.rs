@@ -91,7 +91,7 @@ fn main() {
     println!(
         "pipelined {total} events from {PRODUCERS} producers to {CONSUMERS} consumers over \
          {SHARDS} wait-free shards ({:?} routing)",
-        queue.routing()
+        queue.routing().expect("built from a Routing variant")
     );
     println!(
         "per-producer FIFO verified by every consumer; each shard kept the paper's \

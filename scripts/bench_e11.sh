@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
 # Records the E11-shard throughput sweep as BENCH_e11.json so the perf
-# trajectory accumulates across PRs. Run from the repo root:
+# trajectory accumulates across PRs. The sweep covers all routing
+# policies with a distinct perf story: per-producer (capacity win, both
+# variants), rendezvous (legacy rotating-ticket sweep), nearest
+# (contention-aware hint-guided scan, E11b) and adaptive (nearest +
+# re-homing feedback). The binary itself asserts the acceptance
+# criteria: per-producer strictly increases S=1..4, and nearest's S=8
+# holds >= 95% of its S=4 (the degradation the scan removes).
+# Run from the repo root:
 #
 #   scripts/bench_e11.sh            # writes ./BENCH_e11.json
 #   scripts/bench_e11.sh out.json   # writes to a custom path
@@ -11,3 +18,5 @@ out="${1:-BENCH_e11.json}"
 cargo bench --bench e11_shard -- --json > "$out"
 echo "wrote $out:"
 head -n 6 "$out"
+echo "routings recorded:"
+grep -o '"routing": "[a-z-]*"' "$out" | sort -u

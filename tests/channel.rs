@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 
 use wfqueue_channel::{
-    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, Receiver, ReclaimPolicy,
-    Routing, Sender, ShardedConfig, TryRecvError, TrySendError, UnboundedConfig,
+    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, PlacementConfig, Receiver,
+    ReclaimPolicy, Routing, Sender, ShardedConfig, TryRecvError, TrySendError, UnboundedConfig,
 };
 use wfqueue_harness::channel_api::{ChannelMode, WfChannel};
 use wfqueue_harness::lincheck;
@@ -116,6 +116,7 @@ fn try_path_parity_sharded() {
             receivers: 1,
         },
         routing: Routing::Rendezvous,
+        placement: PlacementConfig::Flat,
         reclaim: ReclaimPolicy::Off,
     };
     let (mut tx, mut rx) = sharded::<u64>(cfg);
@@ -449,6 +450,7 @@ proptest! {
             shards: 2,
             endpoints: Endpoints { senders: 3, receivers: 3 },
             routing: Routing::Rendezvous,
+            placement: PlacementConfig::Flat,
             reclaim: ReclaimPolicy::Off,
         }))?;
     }

@@ -237,4 +237,42 @@ mod model_checker_power {
             "expected a freed-slot assert, got: {failure}"
         );
     }
+
+    /// Skipping the nearest scan's fallback pass strands a value behind
+    /// a stale `Relaxed` hint: the consumer can re-read the lowered hint
+    /// forever (coherence permits it) and never probe the shard —
+    /// surfacing as a livelock at the step bound.
+    #[test]
+    fn scan_skipped_fallback_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::scan_scenario(protocols::ScanBugs {
+                skip_fallback: true,
+            }),
+        )
+        .expect_err("skipped scan fallback must be caught");
+        assert!(
+            failure.message.contains("livelock"),
+            "expected a stranded-value livelock, got: {failure}"
+        );
+    }
+
+    /// Skipping the re-home gate's emptiness witness lets a producer's
+    /// post-re-home value land on the new shard while the old shard
+    /// still holds an earlier one — a consumer scanning the new shard
+    /// first consumes them out of order.
+    #[test]
+    fn rehome_skipped_empty_check_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::reroute_scenario(protocols::RerouteBugs {
+                skip_empty_check: true,
+            }),
+        )
+        .expect_err("skipped re-home emptiness witness must be caught");
+        assert!(
+            failure.message.contains("out of order"),
+            "expected a FIFO-order assert, got: {failure}"
+        );
+    }
 }

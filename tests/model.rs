@@ -1,5 +1,5 @@
-//! Exhaustive model-checking of the workspace's three trickiest
-//! concurrency protocols (`cargo test --features model`).
+//! Exhaustive model-checking of the workspace's trickiest concurrency
+//! protocols (`cargo test --features model`).
 //!
 //! Each test hands a protocol replica from
 //! [`wfqueue_sync::model::protocols`] to the interleaving explorer and
@@ -7,9 +7,11 @@
 //! preemption bound (plus a seeded random tail beyond it) was executed
 //! and none failed. The replicas mirror `Signal`
 //! (`crates/channel/src/wait.rs`), the capacity gate
-//! (`crates/channel/src/endpoint.rs`), and the reclamation hazard
-//! protocol (`crates/core/src/unbounded/reclaim.rs`); see the module
-//! docs of `protocols` for the exact correspondence, and
+//! (`crates/channel/src/endpoint.rs`), the reclamation hazard protocol
+//! (`crates/core/src/unbounded/reclaim.rs`), the contention-aware
+//! nearest scan (`crates/shard/src/policy.rs`), and the re-home
+//! emptiness gate (`crates/shard/src/lib.rs`); see the module docs of
+//! `protocols` for the exact correspondence, and
 //! `tests/checker_power.rs` for the proof that these checks have teeth
 //! (every seeded mutation of the protocols is detected).
 //!
@@ -85,4 +87,28 @@ fn hazard_truncator_never_frees_held_slot() {
         protocols::hazard_scenario(protocols::HazardBugs::default()),
     );
     report("hazard", r);
+}
+
+/// The hint-guided nearest scan finds a value deposited behind a stale
+/// `Relaxed` emptiness hint in every schedule: the unconditional
+/// fallback pass makes coverage independent of hint freshness.
+#[test]
+fn scan_finds_stranded_value_in_every_schedule() {
+    let r = explore(
+        opts(),
+        protocols::scan_scenario(protocols::ScanBugs::default()),
+    );
+    report("scan", r);
+}
+
+/// The re-home gate's emptiness witness preserves per-producer FIFO in
+/// every schedule: a producer that saw its old home drain can never have
+/// its post-re-home values consumed before its pre-re-home ones.
+#[test]
+fn rehome_gate_preserves_fifo_in_every_schedule() {
+    let r = explore(
+        opts(),
+        protocols::reroute_scenario(protocols::RerouteBugs::default()),
+    );
+    report("reroute", r);
 }

@@ -13,13 +13,24 @@ use wfqueue_harness::workload::{run_workload, WorkloadSpec};
 use wfqueue_harness::QueueHandle;
 use wfqueue_shard::{ShardedBounded, ShardedUnbounded};
 
-const ALL_ROUTINGS: [Routing; 3] = [
+const ALL_ROUTINGS: [Routing; 5] = [
     Routing::PerProducer,
     Routing::RoundRobin,
     Routing::Rendezvous,
+    Routing::Nearest,
+    Routing::Adaptive,
 ];
 /// The routing policies that preserve per-producer FIFO on the composite.
-const FIFO_ROUTINGS: [Routing; 2] = [Routing::PerProducer, Routing::Rendezvous];
+const FIFO_ROUTINGS: [Routing; 4] = [
+    Routing::PerProducer,
+    Routing::Rendezvous,
+    Routing::Nearest,
+    Routing::Adaptive,
+];
+/// The FIFO policies that additionally keep handle `i` pinned to shard
+/// `i % S` forever (no re-homing), so a value's shard is derivable from
+/// its producer tag — what the per-shard sub-history filter needs.
+const PINNED_ROUTINGS: [Routing; 3] = [Routing::PerProducer, Routing::Rendezvous, Routing::Nearest];
 
 // ---------------------------------------------------------------------------
 // S = 1 is the inner queue
@@ -120,11 +131,16 @@ fn sharded_s1_cas_parity_with_inner_queue() {
 
 #[test]
 fn composite_with_one_shard_is_linearizable() {
-    for round in 0..10u64 {
-        let q = WfShardedUnbounded::new(1, 3, Routing::Rendezvous);
-        let h = lincheck::record_history(&q, 3, 4, 500, round * 13 + 1);
-        assert_eq!(h.len(), 12);
-        lincheck::check_linearizable(&h).unwrap_or_else(|e| panic!("round {round}: {e}"));
+    // Both the legacy rotating-ticket sweep and the contention-aware
+    // nearest scan: at S = 1 the composite must be one linearizable FIFO.
+    for routing in [Routing::Rendezvous, Routing::Nearest] {
+        for round in 0..10u64 {
+            let q = WfShardedUnbounded::new(1, 3, routing);
+            let h = lincheck::record_history(&q, 3, 4, 500, round * 13 + 1);
+            assert_eq!(h.len(), 12);
+            lincheck::check_linearizable(&h)
+                .unwrap_or_else(|e| panic!("{routing:?} round {round}: {e}"));
+        }
     }
 }
 
@@ -143,7 +159,7 @@ fn per_shard_sub_histories_are_linearizable() {
     // composite intervals contain the shard-op intervals, and dropping
     // null dequeues (which touch several shards and change no state) never
     // hides a violation.
-    for routing in FIFO_ROUTINGS {
+    for routing in PINNED_ROUTINGS {
         for shards in [2usize, 3] {
             for round in 0..12u64 {
                 let q = WfShardedUnbounded::new(shards, 4, routing);
