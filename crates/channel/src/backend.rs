@@ -1,4 +1,4 @@
-//! The three queue backends behind a channel, and the owning handles the
+//! The queue backends behind a channel, and the owning handles the
 //! endpoints carry.
 //!
 //! Endpoints ([`Sender`](crate::Sender)/[`Receiver`](crate::Receiver)) own
@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use wfqueue::{bounded, unbounded};
+use wfqueue_ring::Ring;
 use wfqueue_shard::{ShardedHandle, ShardedUnbounded};
 
 /// The queue actually storing a channel's values.
@@ -28,6 +29,11 @@ pub(crate) enum Backend<T: Clone + Send + Sync + 'static> {
     SpaceBounded(bounded::Queue<T>),
     /// The PR 3 sharded frontend over unbounded shards.
     Sharded(ShardedUnbounded<T>),
+    /// The wCQ-style bounded ring (`wfqueue_ring`): capacity-bounded
+    /// *natively* — full/empty detection lives in the ring's ticket
+    /// counters, so channels over it skip the channel-layer capacity
+    /// gate entirely (`Shared::capacity` stays `None`).
+    Ring(Ring<T>),
 }
 
 impl<T: Clone + Send + Sync + 'static> Backend<T> {
@@ -37,6 +43,7 @@ impl<T: Clone + Send + Sync + 'static> Backend<T> {
             Backend::Unbounded(q) => q.num_processes(),
             Backend::SpaceBounded(q) => q.num_processes(),
             Backend::Sharded(q) => q.max_handles(),
+            Backend::Ring(q) => q.max_handles(),
         }
     }
 
@@ -46,6 +53,17 @@ impl<T: Clone + Send + Sync + 'static> Backend<T> {
             Backend::Unbounded(q) => q.approx_len(),
             Backend::SpaceBounded(q) => q.approx_len(),
             Backend::Sharded(q) => q.approx_len(),
+            Backend::Ring(q) => q.approx_len(),
+        }
+    }
+
+    /// `Some(cap)` when the backend itself bounds the number of in-flight
+    /// values (the ring); `None` for the unbounded cores, whose channels
+    /// bound capacity — if at all — with the channel-layer gate.
+    pub(crate) fn native_capacity(&self) -> Option<usize> {
+        match self {
+            Backend::Ring(q) => Some(q.capacity()),
+            _ => None,
         }
     }
 
@@ -78,6 +96,11 @@ impl<T: Clone + Send + Sync + 'static> Backend<T> {
                 let q: &'static ShardedUnbounded<T> = unsafe { &*std::ptr::from_ref(q) };
                 q.try_handle().map(RawHandle::Sharded)
             }
+            Backend::Ring(q) => {
+                // SAFETY: as above.
+                let q: &'static Ring<T> = unsafe { &*std::ptr::from_ref(q) };
+                q.register().map(RawHandle::Ring)
+            }
         }
     }
 }
@@ -94,14 +117,31 @@ pub(crate) enum RawHandle<T: Clone + Send + Sync + 'static> {
     SpaceBounded(bounded::Handle<'static, T>),
     /// Handle into [`Backend::Sharded`].
     Sharded(ShardedHandle<'static, unbounded::Queue<T>>),
+    /// Handle into [`Backend::Ring`].
+    Ring(wfqueue_ring::RingHandle<'static, T>),
 }
 
 impl<T: Clone + Send + Sync + 'static> RawHandle<T> {
-    pub(crate) fn enqueue(&mut self, value: T) {
+    /// Enqueues, or — on the natively-bounded ring backend — hands the
+    /// value back when the queue is full at the operation's linearization
+    /// point. The unbounded-memory backends always accept (any capacity
+    /// bound there is the channel-layer gate, checked by the caller
+    /// *before* this).
+    pub(crate) fn try_enqueue(&mut self, value: T) -> Result<(), T> {
         match self {
-            RawHandle::Unbounded(h) => h.enqueue(value),
-            RawHandle::SpaceBounded(h) => h.enqueue(value),
-            RawHandle::Sharded(h) => h.enqueue(value),
+            RawHandle::Unbounded(h) => {
+                h.enqueue(value);
+                Ok(())
+            }
+            RawHandle::SpaceBounded(h) => {
+                h.enqueue(value);
+                Ok(())
+            }
+            RawHandle::Sharded(h) => {
+                h.enqueue(value);
+                Ok(())
+            }
+            RawHandle::Ring(h) => h.try_enqueue(value),
         }
     }
 
@@ -110,14 +150,28 @@ impl<T: Clone + Send + Sync + 'static> RawHandle<T> {
             RawHandle::Unbounded(h) => h.dequeue(),
             RawHandle::SpaceBounded(h) => h.dequeue(),
             RawHandle::Sharded(h) => h.dequeue(),
+            RawHandle::Ring(h) => h.dequeue(),
         }
     }
 
-    pub(crate) fn enqueue_batch(&mut self, values: Vec<T>) {
+    /// Batch [`RawHandle::try_enqueue`]: all-or-nothing on the ring (its
+    /// multi-ticket claim either admits the whole batch contiguously or
+    /// returns it untouched), infallible on the other backends.
+    pub(crate) fn try_enqueue_batch(&mut self, values: Vec<T>) -> Result<(), Vec<T>> {
         match self {
-            RawHandle::Unbounded(h) => h.enqueue_batch(values),
-            RawHandle::SpaceBounded(h) => h.enqueue_batch(values),
-            RawHandle::Sharded(h) => h.enqueue_batch(values),
+            RawHandle::Unbounded(h) => {
+                h.enqueue_batch(values);
+                Ok(())
+            }
+            RawHandle::SpaceBounded(h) => {
+                h.enqueue_batch(values);
+                Ok(())
+            }
+            RawHandle::Sharded(h) => {
+                h.enqueue_batch(values);
+                Ok(())
+            }
+            RawHandle::Ring(h) => h.try_enqueue_batch(values),
         }
     }
 
@@ -126,6 +180,7 @@ impl<T: Clone + Send + Sync + 'static> RawHandle<T> {
             RawHandle::Unbounded(h) => h.dequeue_batch(count),
             RawHandle::SpaceBounded(h) => h.dequeue_batch(count),
             RawHandle::Sharded(h) => h.dequeue_batch(count),
+            RawHandle::Ring(h) => h.dequeue_batch(count),
         }
     }
 }

@@ -179,7 +179,18 @@ impl<T: Clone + Send + Sync + 'static> Shared<T> {
             // ORDERING: SC release of the slot; pairs with try_reserve.
             self.len.fetch_sub(n, Ordering::SeqCst);
             self.not_full.notify();
+        } else if matches!(self.backend, Backend::Ring(_)) {
+            // The ring tracks occupancy natively (no gate to decrement),
+            // but capacity-blocked senders still park on `not_full`: a
+            // dequeue is what frees ring space, so it must notify.
+            self.not_full.notify();
         }
+    }
+
+    /// The channel's capacity bound: the gate's, or the ring backend's
+    /// native one; `None` for unbounded channels.
+    fn capacity_limit(&self) -> Option<usize> {
+        self.capacity.or(self.backend.native_capacity())
     }
 }
 
@@ -250,7 +261,11 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
             return Err(TrySendError::Full(value));
         }
         wfqueue_metrics::adversary_yield();
-        self.raw.enqueue(value);
+        // Full on a gated channel is decided by the reservation above;
+        // the ring backend instead reports it natively here.
+        if let Err(value) = self.raw.try_enqueue(value) {
+            return Err(TrySendError::Full(value));
+        }
         self.shared.not_empty.notify();
         Ok(())
     }
@@ -330,11 +345,12 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(rest));
             }
-            let take = match self.shared.capacity {
+            let take = match self.shared.capacity_limit() {
                 None => rest.len(),
                 Some(cap) => cap.min(rest.len()),
             };
-            // Blocking whole-chunk reservation (no-op on unbounded).
+            // Blocking whole-chunk reservation (no-op on unbounded and on
+            // the ring, which admits the chunk natively below).
             while !self.shared.try_reserve(take) {
                 let key = self.shared.not_full.listen();
                 if self.shared.try_reserve(take) {
@@ -352,7 +368,32 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
                 self.shared.not_full.wait(key);
             }
             let chunk: Vec<T> = rest.drain(..take).collect();
-            self.raw.enqueue_batch(chunk);
+            // Gated/unbounded backends accept on the first try (their
+            // space was reserved above); the ring may be full right now,
+            // in which case park until dequeues notify `not_full`.
+            let mut chunk = match self.raw.try_enqueue_batch(chunk) {
+                Ok(()) => Vec::new(),
+                Err(back) => back,
+            };
+            while !chunk.is_empty() {
+                let key = self.shared.not_full.listen();
+                match self.raw.try_enqueue_batch(chunk) {
+                    Ok(()) => {
+                        self.shared.not_full.cancel(key);
+                        chunk = Vec::new();
+                        continue;
+                    }
+                    Err(back) => chunk = back,
+                }
+                wfqueue_metrics::record_shared_load();
+                // ORDERING: post-listen disconnect re-check, as above.
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    self.shared.not_full.cancel(key);
+                    chunk.extend(rest);
+                    return Err(SendError(chunk));
+                }
+                self.shared.not_full.wait(key);
+            }
             self.shared.not_empty.notify();
         }
         Ok(())
@@ -405,7 +446,11 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
             return Err(TrySendError::Full(values));
         }
         wfqueue_metrics::adversary_yield();
-        self.raw.enqueue_batch(values);
+        // All-or-nothing on the ring too: its multi-ticket claim either
+        // admits the whole batch contiguously or returns it untouched.
+        if let Err(values) = self.raw.try_enqueue_batch(values) {
+            return Err(TrySendError::Full(values));
+        }
         self.shared.not_empty.notify();
         Ok(())
     }
@@ -431,10 +476,11 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
         Shared::new_sender(&self.shared)
     }
 
-    /// `Some(cap)` for capacity-bounded channels, `None` otherwise.
+    /// `Some(cap)` for capacity-bounded channels (whether bounded by the
+    /// channel-layer gate or natively by a ring backend), `None` otherwise.
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
-        self.shared.capacity
+        self.shared.capacity_limit()
     }
 
     /// A recent-past snapshot of the number of values in the channel
@@ -727,10 +773,11 @@ impl<T: Clone + Send + Sync + 'static> Receiver<T> {
         Shared::new_receiver(&self.shared)
     }
 
-    /// `Some(cap)` for capacity-bounded channels, `None` otherwise.
+    /// `Some(cap)` for capacity-bounded channels (whether bounded by the
+    /// channel-layer gate or natively by a ring backend), `None` otherwise.
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
-        self.shared.capacity
+        self.shared.capacity_limit()
     }
 
     /// A recent-past snapshot of the number of values in the channel

@@ -163,6 +163,122 @@ impl fmt::Display for CloneError {
 
 impl std::error::Error for CloneError {}
 
+/// A [`ChannelBuilder::build`](crate::ChannelBuilder::build) rejected the
+/// requested configuration.
+///
+/// The builder validates the whole configuration up front and reports the
+/// first inconsistency here instead of panicking deep inside a backend
+/// constructor; the legacy free constructors
+/// ([`unbounded`](crate::unbounded), [`bounded`](crate::bounded), …) are
+/// thin wrappers that turn these errors back into their documented panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A capacity-bounded backend was requested with `capacity == 0` (a
+    /// zero-capacity channel could never transfer a value).
+    ZeroCapacity,
+    /// The ring backend's capacity exceeds the largest ring it can
+    /// allocate ([`wfqueue_ring::MAX_CAPACITY`]).
+    RingCapacityTooLarge {
+        /// The capacity that was requested.
+        capacity: usize,
+        /// The largest capacity a ring supports.
+        max: usize,
+    },
+    /// A sharded backend was requested with `shards == 0`.
+    ZeroShards,
+    /// An endpoint budget ([`Endpoints`](crate::Endpoints)) has a zero
+    /// side; every channel needs at least one sender and one receiver.
+    ZeroEndpoints,
+    /// A reclaim period of zero was requested
+    /// (`ReclaimPolicy::EveryKRootBlocks(0)`); use `ReclaimPolicy::Off`
+    /// to disable truncation instead.
+    ZeroReclaimPeriod,
+    /// A GC period of zero was requested for the bounded-tree backend;
+    /// leave it unset for the paper's default.
+    ZeroGcPeriod,
+    /// A reclaim policy was set, but the chosen backend does not truncate
+    /// (the bounded tree has its own GC; the ring recycles slots in
+    /// place).
+    ReclaimUnsupported {
+        /// The backend that was requested.
+        backend: &'static str,
+    },
+    /// A routing policy was set, but the chosen backend has no shards to
+    /// route between.
+    RoutingUnsupported {
+        /// The backend that was requested.
+        backend: &'static str,
+    },
+    /// A hardware placement was set, but the chosen backend has no
+    /// topology-aware routing to consume it.
+    PlacementUnsupported {
+        /// The backend that was requested.
+        backend: &'static str,
+    },
+    /// A GC period was set, but only the bounded-tree backend has the
+    /// paper's §6 garbage collector.
+    GcPeriodUnsupported {
+        /// The backend that was requested.
+        backend: &'static str,
+    },
+    /// The sharded backend was configured with a routing policy whose
+    /// receive scan does not cover every shard (e.g. `PerProducer`), so a
+    /// receiver could never observe values sent on the other shards.
+    PartialCoverageRouting,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroCapacity => {
+                write!(f, "channel capacity must be at least 1")
+            }
+            BuildError::RingCapacityTooLarge { capacity, max } => write!(
+                f,
+                "ring capacity {capacity} exceeds the largest supported ring ({max})"
+            ),
+            BuildError::ZeroShards => {
+                write!(f, "a sharded channel needs at least 1 shard")
+            }
+            BuildError::ZeroEndpoints => write!(
+                f,
+                "endpoint budgets must be at least 1 sender and 1 receiver"
+            ),
+            BuildError::ZeroReclaimPeriod => write!(
+                f,
+                "reclaim period must be at least 1 root block (use ReclaimPolicy::Off to \
+                 disable truncation)"
+            ),
+            BuildError::ZeroGcPeriod => {
+                write!(f, "GC period must be at least 1 (or unset for the default)")
+            }
+            BuildError::ReclaimUnsupported { backend } => {
+                write!(f, "the {backend} backend does not take a reclaim policy")
+            }
+            BuildError::RoutingUnsupported { backend } => {
+                write!(f, "the {backend} backend has no shards to route between")
+            }
+            BuildError::PlacementUnsupported { backend } => write!(
+                f,
+                "the {backend} backend has no topology-aware routing to place"
+            ),
+            BuildError::GcPeriodUnsupported { backend } => write!(
+                f,
+                "only the bounded-tree backend has a GC period (got {backend})"
+            ),
+            BuildError::PartialCoverageRouting => write!(
+                f,
+                "a sharded channel needs a full-coverage routing policy (Rendezvous, Nearest, \
+                 Adaptive or RoundRobin): a routing that pins receivers to one shard could \
+                 never observe values sent on the others"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +297,22 @@ mod tests {
         assert!(RecvError.to_string().contains("no senders"));
         assert!(RecvTimeoutError::Timeout.to_string().contains("timed out"));
         assert!(CloneError { limit: 4 }.to_string().contains("4"));
+        assert!(BuildError::ZeroCapacity.to_string().contains("at least 1"));
+        assert!(BuildError::RingCapacityTooLarge {
+            capacity: 1 << 20,
+            max: 1 << 15
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(
+            BuildError::PartialCoverageRouting
+                .to_string()
+                .contains("full-coverage routing"),
+            "the sharded() wrapper's documented panic message relies on this substring"
+        );
+        assert!(BuildError::ReclaimUnsupported { backend: "ring" }
+            .to_string()
+            .contains("ring"));
     }
 
     #[test]

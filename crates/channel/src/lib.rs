@@ -31,17 +31,43 @@
 //!
 //! # Choosing a constructor
 //!
-//! | constructor | backend | memory | capacity |
-//! |---|---|---|---|
-//! | [`unbounded`] | §3 queue + epoch-based tree truncation | plateaus under churn | unbounded |
-//! | [`bounded`] | §6 bounded-*space* queue | polynomial in `p`, `q` | bounded (`send` blocks when full) |
-//! | [`sharded`] | `S` independent wait-free shards | plateaus (per-shard truncation) | unbounded |
+//! One entry point covers every backend: [`Channel::builder`] picks the
+//! queue with a typed [`Backend`] value and validates the whole
+//! configuration at [`ChannelBuilder::build`] (invalid combinations are a
+//! [`BuildError`], not a panic or a silent ignore):
 //!
-//! A [`sharded`] channel multiplies root-CAS bandwidth but relaxes
-//! ordering to per-sender FIFO (each sender's values arrive in order;
-//! values of different senders on different shards carry no order) — the
-//! semantics of [`wfqueue_shard::Routing::Rendezvous`] by default. The
-//! single-queue constructors are fully linearizable FIFO.
+//! ```
+//! use wfqueue_channel::{Backend, Channel};
+//!
+//! let (mut tx, mut rx) = Channel::builder()
+//!     .backend(Backend::Ring { capacity: 64 })
+//!     .build()
+//!     .unwrap();
+//! tx.send(7u32).unwrap();
+//! assert_eq!(rx.recv(), Ok(7));
+//! ```
+//!
+//! | backend | queue | memory | capacity |
+//! |---|---|---|---|
+//! | [`Backend::Unbounded`] | §3 queue + epoch-based tree truncation | plateaus under churn | unbounded |
+//! | [`Backend::BoundedTree`] | §6 bounded-*space* queue + capacity gate | polynomial in `p`, `q` | bounded (`send` blocks when full) |
+//! | [`Backend::Ring`] | wCQ-style single-word-CAS ring (`wfqueue_ring`) | fixed: `capacity` slots | bounded natively (`send` blocks when full) |
+//! | [`Backend::Sharded`] | `S` independent wait-free shards | plateaus (per-shard truncation) | unbounded |
+//!
+//! A [`Backend::Sharded`] channel multiplies root-CAS bandwidth but
+//! relaxes ordering to per-sender FIFO (each sender's values arrive in
+//! order; values of different senders on different shards carry no order)
+//! — the semantics of [`wfqueue_shard::Routing::Rendezvous`] by default.
+//! The single-queue backends are fully linearizable FIFO. At equal
+//! capacity, [`Backend::BoundedTree`] keeps the paper's wait-free
+//! polylogarithmic step bound while [`Backend::Ring`] trades two
+//! documented lock-free windows for much cheaper per-operation work — see
+//! the `wfqueue_ring` crate docs for the exact contract.
+//!
+//! The original free constructors — [`unbounded`] / [`unbounded_with`],
+//! [`bounded`] / [`bounded_with`] and [`sharded`] — remain as thin
+//! wrappers over the builder (step-for-step identical; asserted in
+//! `tests/channel.rs`).
 //!
 //! # Endpoint budgets
 //!
@@ -104,6 +130,7 @@
 #![deny(missing_docs)]
 
 mod backend;
+mod builder;
 mod endpoint;
 mod error;
 mod wait;
@@ -113,12 +140,13 @@ pub mod exec;
 #[cfg(feature = "async")]
 pub mod future;
 
+pub use builder::{Backend, Channel, ChannelBuilder};
 pub(crate) use endpoint::Shared;
 pub use endpoint::{IntoIter, Receiver, Sender, TryIter};
-pub use error::{CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+pub use error::{
+    BuildError, CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
+};
 pub use wfqueue_shard::{PlacementConfig, ReclaimPolicy, Routing};
-
-use backend::Backend;
 
 /// How many endpoints of each side a channel can mint
 /// ([`Sender::try_clone`] / [`Receiver::try_clone`] draw on this budget).
@@ -290,13 +318,12 @@ pub fn unbounded<T: Clone + Send + Sync + 'static>() -> (Sender<T>, Receiver<T>)
 pub fn unbounded_with<T: Clone + Send + Sync + 'static>(
     cfg: UnboundedConfig,
 ) -> (Sender<T>, Receiver<T>) {
-    let queue = wfqueue::unbounded::Queue::with_reclaim(cfg.endpoints.total(), cfg.reclaim);
-    Shared::channel(
-        Backend::Unbounded(queue),
-        None,
-        cfg.endpoints.senders,
-        cfg.endpoints.receivers,
-    )
+    Channel::builder()
+        .backend(Backend::Unbounded)
+        .endpoints(cfg.endpoints)
+        .reclaim(cfg.reclaim)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Creates a capacity-bounded MPMC channel over the wait-free
@@ -333,17 +360,14 @@ pub fn bounded<T: Clone + Send + Sync + 'static>(capacity: usize) -> (Sender<T>,
 pub fn bounded_with<T: Clone + Send + Sync + 'static>(
     cfg: BoundedConfig,
 ) -> (Sender<T>, Receiver<T>) {
-    let pids = cfg.endpoints.total();
-    let queue = match cfg.gc_period {
-        Some(period) => wfqueue::bounded::Queue::with_gc_period(pids, period),
-        None => wfqueue::bounded::Queue::new(pids),
-    };
-    Shared::channel(
-        Backend::SpaceBounded(queue),
-        Some(cfg.capacity),
-        cfg.endpoints.senders,
-        cfg.endpoints.receivers,
-    )
+    Channel::builder()
+        .backend(Backend::BoundedTree {
+            capacity: cfg.capacity,
+        })
+        .endpoints(cfg.endpoints)
+        .gc_period(cfg.gc_period)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Creates an unbounded MPMC channel over `cfg.shards` independent
@@ -375,24 +399,12 @@ pub fn bounded_with<T: Clone + Send + Sync + 'static>(
 /// ```
 #[must_use]
 pub fn sharded<T: Clone + Send + Sync + 'static>(cfg: ShardedConfig) -> (Sender<T>, Receiver<T>) {
-    assert!(
-        cfg.routing.policy().full_coverage(),
-        "a sharded channel needs a full-coverage routing policy (Rendezvous, Nearest, \
-         Adaptive or RoundRobin): {:?} pins receivers to one shard, so they could never \
-         observe values sent on the others",
-        cfg.routing,
-    );
-    let queue = wfqueue_shard::ShardedUnbounded::with_reclaim_placed(
-        cfg.shards,
-        cfg.endpoints.total(),
-        cfg.routing,
-        cfg.reclaim,
-        cfg.placement,
-    );
-    Shared::channel(
-        Backend::Sharded(queue),
-        None,
-        cfg.endpoints.senders,
-        cfg.endpoints.receivers,
-    )
+    Channel::builder()
+        .backend(Backend::Sharded { shards: cfg.shards })
+        .endpoints(cfg.endpoints)
+        .routing(cfg.routing)
+        .placement(cfg.placement)
+        .reclaim(cfg.reclaim)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
 }

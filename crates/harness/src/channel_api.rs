@@ -25,8 +25,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use wfqueue_channel::{
-    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, PlacementConfig, Receiver,
-    ReclaimPolicy, Routing, Sender, ShardedConfig, UnboundedConfig,
+    Backend, Channel, Endpoints, PlacementConfig, Receiver, ReclaimPolicy, Routing, Sender,
 };
 
 use crate::queue_api::{ConcurrentQueue, QueueHandle};
@@ -80,17 +79,20 @@ impl<T: Clone + Send + Sync + 'static> WfChannel<T> {
     /// ids: one sender + one receiver each).
     #[must_use]
     pub fn unbounded(p: usize, mode: ChannelMode) -> Self {
-        let (tx, rx) = unbounded_with(UnboundedConfig {
-            endpoints: Endpoints {
+        let (tx, rx) = Channel::builder()
+            .backend(Backend::Unbounded)
+            .endpoints(Endpoints {
                 senders: p,
                 receivers: p,
-            },
-            reclaim: ReclaimPolicy::Off,
-        });
+            })
+            .reclaim(ReclaimPolicy::Off)
+            .build()
+            .expect("valid harness channel config");
         Self::from_pair(tx, rx, p, mode, "wf-channel-unbounded")
     }
 
-    /// A capacity-bounded channel sized for `p` harness handles.
+    /// A capacity-bounded channel (§6 bounded-tree backend) sized for `p`
+    /// harness handles.
     ///
     /// Size `capacity` at least as large as the workload's maximum
     /// in-flight value count when using [`ChannelMode::Try`]: the uniform
@@ -98,15 +100,31 @@ impl<T: Clone + Send + Sync + 'static> WfChannel<T> {
     /// failure path, so a `Full` response panics the adapter.
     #[must_use]
     pub fn bounded(p: usize, capacity: usize, mode: ChannelMode) -> Self {
-        let (tx, rx) = bounded_with(BoundedConfig {
-            capacity,
-            endpoints: Endpoints {
+        let (tx, rx) = Channel::builder()
+            .backend(Backend::BoundedTree { capacity })
+            .endpoints(Endpoints {
                 senders: p,
                 receivers: p,
-            },
-            gc_period: None,
-        });
+            })
+            .build()
+            .expect("valid harness channel config");
         Self::from_pair(tx, rx, p, mode, "wf-channel-bounded")
+    }
+
+    /// A channel over the wCQ-style bounded ring backend, sized for `p`
+    /// harness handles. Same capacity caveat as [`WfChannel::bounded`]:
+    /// in [`ChannelMode::Try`], a `Full` response panics the adapter.
+    #[must_use]
+    pub fn ring(p: usize, capacity: usize, mode: ChannelMode) -> Self {
+        let (tx, rx) = Channel::builder()
+            .backend(Backend::Ring { capacity })
+            .endpoints(Endpoints {
+                senders: p,
+                receivers: p,
+            })
+            .build()
+            .expect("valid harness channel config");
+        Self::from_pair(tx, rx, p, mode, "wf-channel-ring")
     }
 
     /// A sharded channel (`shards` wait-free shards, rendezvous routing)
@@ -127,16 +145,17 @@ impl<T: Clone + Send + Sync + 'static> WfChannel<T> {
     /// [`PlacementConfig::Flat`] for run-to-run determinism.
     #[must_use]
     pub fn sharded_routed(shards: usize, p: usize, mode: ChannelMode, routing: Routing) -> Self {
-        let (tx, rx) = sharded(ShardedConfig {
-            shards,
-            endpoints: Endpoints {
+        let (tx, rx) = Channel::builder()
+            .backend(Backend::Sharded { shards })
+            .endpoints(Endpoints {
                 senders: p,
                 receivers: p,
-            },
-            routing,
-            placement: PlacementConfig::Flat,
-            reclaim: ReclaimPolicy::Off,
-        });
+            })
+            .routing(routing)
+            .placement(PlacementConfig::Flat)
+            .reclaim(ReclaimPolicy::Off)
+            .build()
+            .expect("valid harness channel config");
         Self::from_pair(tx, rx, p, mode, "wf-channel-sharded")
     }
 
@@ -301,6 +320,7 @@ mod tests {
             for q in [
                 WfChannel::<u64>::unbounded(2, mode),
                 WfChannel::<u64>::bounded(2, 64, mode),
+                WfChannel::<u64>::ring(2, 64, mode),
                 WfChannel::<u64>::sharded(2, 2, mode),
             ] {
                 let mut h = q.handle();

@@ -313,6 +313,65 @@ impl<T: Clone + Send + Sync> QueueHandle<T>
     }
 }
 
+/// Adapter for the wCQ-style bounded ring (`wfqueue_ring`).
+///
+/// [`QueueHandle::enqueue`] is infallible while the ring's capacity is a
+/// hard bound, so on a full ring the adapter spins (helping stalled peers
+/// between attempts) until a dequeue frees a slot — the semantics of
+/// `wfqueue_shard::ShardHandle` that the ring already implements.
+/// Workloads must keep enqueues and dequeues balanced within `capacity`,
+/// as they would for any bounded queue.
+#[derive(Debug)]
+pub struct WfRing<T: Send>(pub wfqueue_ring::Ring<T>);
+
+impl<T: Send> WfRing<T> {
+    /// Creates an adapter over a ring of `capacity` values with capacity
+    /// for `processes` handles.
+    #[must_use]
+    pub fn new(processes: usize, capacity: usize) -> Self {
+        WfRing(wfqueue_ring::Ring::new(capacity, processes))
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for WfRing<T> {
+    type Handle<'a>
+        = wfqueue_ring::RingHandle<'a, T>
+    where
+        T: 'a;
+
+    fn name(&self) -> &'static str {
+        "wf-ring"
+    }
+
+    fn try_handle(&self) -> Option<Self::Handle<'_>> {
+        self.0.register()
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.0.max_handles())
+    }
+}
+
+impl<T: Send> QueueHandle<T> for wfqueue_ring::RingHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        // The spin-on-full ShardHandle enqueue, not the fallible inherent
+        // `try_enqueue`.
+        wfqueue_shard::ShardHandle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        wfqueue_ring::RingHandle::dequeue(self)
+    }
+
+    fn enqueue_batch(&mut self, values: Vec<T>) {
+        wfqueue_shard::ShardHandle::enqueue_batch(self, values);
+    }
+
+    fn dequeue_batch(&mut self, count: usize) -> Vec<Option<T>> {
+        wfqueue_ring::RingHandle::dequeue_batch(self, count)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded frontend adapters
 // ---------------------------------------------------------------------------
@@ -538,6 +597,9 @@ mod tests {
             2,
             ReclaimPolicy::EveryKRootBlocks(2),
         ));
+        round_trip(&WfRing::new(2, 8));
+        // A ring no larger than the in-flight window still round-trips.
+        round_trip(&WfRing::new(2, 2));
         for routing in [
             Routing::PerProducer,
             Routing::RoundRobin,
@@ -575,6 +637,11 @@ mod tests {
                 Routing::PerProducer
             )),
             Some(6)
+        );
+        assert_eq!(
+            ConcurrentQueue::<u64>::capacity(&WfRing::<u64>::new(7, 16)),
+            Some(7),
+            "handle capacity, not element capacity"
         );
         assert_eq!(ConcurrentQueue::<u64>::capacity(&Ms::<u64>::new()), None);
     }
@@ -641,6 +708,7 @@ mod tests {
         batch_round_trip(&WfBoundedAvl::new(1));
         batch_round_trip(&WfShardedUnbounded::new(2, 1, Routing::Rendezvous));
         batch_round_trip(&WfShardedBounded::new(2, 1, Routing::PerProducer));
+        batch_round_trip(&WfRing::new(1, 4));
         batch_round_trip(&Ms::new());
         batch_round_trip(&TwoLock::new());
         batch_round_trip(&CoarseMutex::new());

@@ -13,10 +13,11 @@
 //! | [`hazard_scenario`] | `begin_op`/`truncate_locked` in `crates/core/src/unbounded/reclaim.rs` | the truncator never frees a slot a published hazard still clamps to |
 //! | [`scan_scenario`] | `plan_nearest_scan`/`ShardHints` in `crates/shard/src/policy.rs` | an enqueued value is never stranded by a stale `Relaxed` emptiness hint (the fallback pass makes correctness hint-independent) |
 //! | [`reroute_scenario`] | `ShardedHandle::try_rehome` in `crates/shard/src/lib.rs` | per-producer FIFO survives a re-home (the emptiness-witness gate) |
+//! | [`ring_scenario`] | slot/record handshake of `crates/ring/src/lib.rs` | a stalled helper from an earlier ticket can never fill a recycled slot or deliver into a later operation's result (the phase tags) |
 //!
 //! The bug structs ([`SignalBugs`], [`GateBugs`], [`HazardBugs`],
-//! [`ScanBugs`], [`RerouteBugs`]) switch individual lines of the
-//! protocols off or weaken their orderings. With all flags `false` the
+//! [`ScanBugs`], [`RerouteBugs`], [`RingBugs`]) switch individual lines
+//! of the protocols off or weaken their orderings. With all flags `false` the
 //! scenarios must survive *every* schedule (`tests/model.rs` asserts
 //! exhaustive passes); with any flag `true` the explorer must find a
 //! failing schedule (`tests/checker_power.rs` asserts detection — that is
@@ -530,5 +531,258 @@ pub fn reroute_scenario(bugs: RerouteBugs) -> impl Fn() + Send + Sync + 'static 
             "re-homed producer's values consumed out of order"
         );
         producer.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring: the phase-tagged slot/record helping handshake
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`ring_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RingBugs {
+    /// Drop the phase tag from the enqueue helper's fill CAS: match "any
+    /// empty slot" (`value == 0`) instead of the announced ticket's exact
+    /// phase-tagged empty word. A helper that read an announcement, was
+    /// validated, and then stalled across a whole slot recycle (fill →
+    /// dequeue → free) re-fills the *next* ticket's slot with its stale
+    /// value — the next enqueuer sees its slot full, assumes its own fill
+    /// landed, and the stale value is delivered in place of the real one.
+    pub untagged_slot_cas: bool,
+    /// Drop the phase tag from the dequeue result word: initialise the
+    /// owner's `result` to a bare `0` and deliver with a bare value
+    /// instead of `(phase << …) | value`. A dequeue helper that read the
+    /// slot and then stalled past the operation's completion can now CAS
+    /// its stale value into the *successor* operation's freshly-reset
+    /// result — the successor returns a value from the wrong ticket.
+    pub untagged_result: bool,
+}
+
+/// Word-level constants of the mini ring (8-bit value, phase above).
+const RING_IDLE: u64 = 0;
+const RING_ENQ: u64 = 1;
+const RING_DEQ: u64 = 2;
+
+/// Packs a slot/result word: `phase << 8 | value`.
+fn ring_pack(phase: u64, value: u64) -> u64 {
+    (phase << 8) | value
+}
+
+/// Replica of the `wfqueue_ring` slot handshake, shrunk to capacity 1 and
+/// one announcement record: `slot` cycles `empty(t) = t<<8` →
+/// `full(t) = (t+1)<<8 | v` → `empty(t+1) = (t+1)<<8` (capacity 1 makes
+/// phase = ticket), `word`/`aux` are the owner's published announcement,
+/// and `result` is the phase-guarded completion word dequeue helpers
+/// deliver into.
+struct MiniRing {
+    slot: AtomicU64,
+    word: AtomicU64,
+    aux: AtomicU64,
+    result: AtomicU64,
+}
+
+impl MiniRing {
+    fn new() -> Self {
+        MiniRing {
+            slot: AtomicU64::new(ring_pack(0, 0)),
+            word: AtomicU64::new(RING_IDLE),
+            aux: AtomicU64::new(0),
+            result: AtomicU64::new(0),
+        }
+    }
+
+    /// The owner's enqueue: publish the announcement, then race the
+    /// helpers to fill the ticket's slot (`announce_and_fill`).
+    fn enqueue(&self, ticket: u64, value: u64) {
+        self.aux.store(value, Ordering::SeqCst);
+        self.word
+            .store((RING_ENQ << 8) | (ticket + 1), Ordering::SeqCst);
+        loop {
+            let cur = self.slot.load(Ordering::SeqCst);
+            if cur >> 8 == ticket + 1 {
+                // Filled — by this owner's CAS below or by a helper.
+                break;
+            }
+            if cur == ring_pack(ticket, 0) {
+                let _ = self.slot.compare_exchange(
+                    cur,
+                    ring_pack(ticket + 1, value),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                continue;
+            }
+            crate::thread::yield_now();
+        }
+        self.word.store(RING_IDLE, Ordering::SeqCst);
+    }
+
+    /// The initial (undelivered) result word for `ticket` — phase-tagged,
+    /// unless [`RingBugs::untagged_result`] strips the tag.
+    fn result_init(ticket: u64, bugs: RingBugs) -> u64 {
+        if bugs.untagged_result {
+            0
+        } else {
+            ring_pack(ticket, 0)
+        }
+    }
+
+    /// The owner's dequeue: reset the result, publish the announcement,
+    /// then race the helpers to deliver the ticket's value and free the
+    /// slot for the next lap.
+    fn dequeue(&self, ticket: u64, bugs: RingBugs) -> u64 {
+        let init = Self::result_init(ticket, bugs);
+        self.result.store(init, Ordering::SeqCst);
+        self.word
+            .store((RING_DEQ << 8) | (ticket + 1), Ordering::SeqCst);
+        let value = loop {
+            let res = self.result.load(Ordering::SeqCst);
+            if res & 0xFF != 0 {
+                break res & 0xFF;
+            }
+            let cur = self.slot.load(Ordering::SeqCst);
+            if cur >> 8 == ticket + 1 && cur & 0xFF != 0 {
+                let delivered = if bugs.untagged_result {
+                    cur & 0xFF
+                } else {
+                    ring_pack(ticket, cur & 0xFF)
+                };
+                let _ = self.result.compare_exchange(
+                    init,
+                    delivered,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                let _ = self.slot.compare_exchange(
+                    cur,
+                    ring_pack(ticket + 1, 0),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                continue;
+            }
+            crate::thread::yield_now();
+        };
+        // The real owner's post-delivery re-check: if the delivering
+        // helper stalled before freeing the slot, free it here so the
+        // next lap cannot wedge.
+        let cur = self.slot.load(Ordering::SeqCst);
+        if cur >> 8 == ticket + 1 && cur & 0xFF != 0 {
+            let _ = self.slot.compare_exchange(
+                cur,
+                ring_pack(ticket + 1, 0),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        self.word.store(RING_IDLE, Ordering::SeqCst);
+        value
+    }
+
+    /// A helper's fill attempt for an announced enqueue. Correct form:
+    /// one CAS whose *expected* word is the ticket's exact phase-tagged
+    /// empty state, so a stale helper simply fails. Buggy form: match any
+    /// empty slot and trust its current phase.
+    fn help_fill(&self, ticket: u64, value: u64, bugs: RingBugs) {
+        if bugs.untagged_slot_cas {
+            let cur = self.slot.load(Ordering::SeqCst);
+            if cur & 0xFF == 0 {
+                let _ = self.slot.compare_exchange(
+                    cur,
+                    ring_pack((cur >> 8) + 1, value),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+        } else {
+            let _ = self.slot.compare_exchange(
+                ring_pack(ticket, 0),
+                ring_pack(ticket + 1, value),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// A helper's delivery attempt for an announced dequeue: read the
+    /// slot, deliver into the result (phase-guarded CAS), then free the
+    /// slot with an exact-word CAS.
+    fn help_deliver(&self, ticket: u64, bugs: RingBugs) {
+        let cur = self.slot.load(Ordering::SeqCst);
+        if cur >> 8 == ticket + 1 && cur & 0xFF != 0 {
+            let value = cur & 0xFF;
+            let (expected, delivered) = if bugs.untagged_result {
+                (0, value)
+            } else {
+                (ring_pack(ticket, 0), ring_pack(ticket, value))
+            };
+            let _ = self.result.compare_exchange(
+                expected,
+                delivered,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            let _ = self.slot.compare_exchange(
+                cur,
+                ring_pack(ticket + 1, 0),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+}
+
+/// The slot-recycle scenario on a capacity-1 mini ring: the main thread
+/// runs two full enqueue→dequeue laps (values 7 then 9) through the
+/// announcement record, while a helper thread helps whatever
+/// announcement it observes — reading `word`, then `aux`, then
+/// revalidating `word` (the real helpers' handshake) before its CAS. The
+/// explorer can park the helper between that revalidation and its CAS
+/// for arbitrarily long, which is exactly the stale-helper window the
+/// ring's phase tags exist for. In every schedule both laps must return
+/// their own value: with [`RingBugs::untagged_slot_cas`] a lapped
+/// enqueue helper re-fills the recycled slot with value 7 during lap 2,
+/// and with [`RingBugs::untagged_result`] a stalled dequeue helper
+/// delivers 7 into lap 2's reset result — both surface as lap 2
+/// returning 7 instead of 9.
+pub fn ring_scenario(bugs: RingBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let ring = Arc::new(MiniRing::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let (ring_h, done_h) = (Arc::clone(&ring), Arc::clone(&done));
+        let helper = spawn(move || {
+            while done_h.load(Ordering::SeqCst) == 0 {
+                let w = ring_h.word.load(Ordering::SeqCst);
+                if w != RING_IDLE {
+                    let v = ring_h.aux.load(Ordering::SeqCst);
+                    // Revalidate word → aux → word, as the real helpers
+                    // do; the stale window is between this check and the
+                    // CAS inside the help call.
+                    if ring_h.word.load(Ordering::SeqCst) == w {
+                        let ticket = (w & 0xFF) - 1;
+                        if w >> 8 == RING_ENQ {
+                            ring_h.help_fill(ticket, v, bugs);
+                        } else {
+                            ring_h.help_deliver(ticket, bugs);
+                        }
+                    }
+                }
+                crate::thread::yield_now();
+            }
+        });
+        ring.enqueue(0, 7);
+        assert_eq!(
+            ring.dequeue(0, bugs),
+            7,
+            "ring dequeue returned a value from the wrong ticket"
+        );
+        ring.enqueue(1, 9);
+        assert_eq!(
+            ring.dequeue(1, bugs),
+            9,
+            "a stale ring helper crossed into a later operation's generation"
+        );
+        done.store(1, Ordering::SeqCst);
+        helper.join();
     }
 }

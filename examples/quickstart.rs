@@ -1,18 +1,22 @@
 //! Quickstart: the channel facade over the wait-free queue.
 //!
-//! `wfqueue_channel::unbounded()` is the first entry point a service
-//! should reach for: `Sender`/`Receiver` pairs in the `std::sync::mpsc`
-//! mould, with every enqueue and dequeue served by the paper's wait-free
-//! polylogarithmic queue underneath. Consumers *park* while the channel
-//! is empty (no spinning), and the worker loop ends by itself when the
-//! producers are done — `Drop`-driven disconnect.
+//! `Channel::builder()` is the first entry point a service should reach
+//! for: pick a typed [`Backend`] (unbounded here — the paper's queue with
+//! tree truncation), get `Sender`/`Receiver` pairs in the
+//! `std::sync::mpsc` mould, with every enqueue and dequeue served by the
+//! paper's wait-free polylogarithmic queue underneath. Consumers *park*
+//! while the channel is empty (no spinning), and the worker loop ends by
+//! itself when the producers are done — `Drop`-driven disconnect.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use wfqueue_channel as channel;
+use wfqueue_channel::{Backend, Channel};
 
 fn main() {
-    let (tx, rx) = channel::unbounded::<u64>();
+    let (tx, rx) = Channel::builder::<u64>()
+        .backend(Backend::Unbounded)
+        .build()
+        .unwrap();
 
     let per_producer = 10_000u64;
     let producers = 2u64;
@@ -50,7 +54,10 @@ fn main() {
 
     // The try path is the raw wait-free operation (CAS parity asserted in
     // tests/channel.rs) — measure one:
-    let (mut tx, mut rx) = channel::unbounded::<u64>();
+    let (mut tx, mut rx) = Channel::builder::<u64>()
+        .backend(Backend::Unbounded)
+        .build()
+        .unwrap();
     let ((), steps) = wfqueue_metrics::measure(|| tx.try_send(42).unwrap());
     println!(
         "one try_send took {} shared-memory steps ({} CAS)",

@@ -2,19 +2,21 @@
 //! queue shards, keeping per-producer order end to end.
 //!
 //! Four producers emit ordered event batches; four consumers drain them
-//! through a `wfqueue_shard::ShardedQueue` with `Rendezvous` routing:
-//! producers pin to shards (so each producer's events stay FIFO), while
-//! consumers sweep all shards from a globally rotating start index so no
-//! shard starves. Each consumer verifies on the fly that every producer's
-//! events arrive in order — the relaxed-queue contract the sharded
-//! frontend guarantees.
+//! through a channel built over the sharded backend with `Rendezvous`
+//! routing: producers pin to shards (so each producer's events stay
+//! FIFO), while consumers sweep all shards from a globally rotating start
+//! index so no shard starves. Each consumer verifies on the fly that
+//! every producer's events arrive in order — the relaxed-queue contract
+//! the sharded frontend guarantees. The channel facade adds the pipeline
+//! conveniences on top: consumers park while empty (no spin-waiting) and
+//! their loops end by themselves when the producers drop their senders.
 //!
 //! Run with: `cargo run --release --example sharded_pipeline`
 
 use std::sync::Arc;
 use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
-use wfqueue_shard::{Routing, ShardedUnbounded};
+use wfqueue_channel::{Backend, Channel, Endpoints, Routing};
 
 const PRODUCERS: usize = 4;
 const CONSUMERS: usize = 4;
@@ -28,70 +30,64 @@ fn event(producer: usize, seq: u64) -> u64 {
 }
 
 fn main() {
-    let queue: ShardedUnbounded<u64> =
-        ShardedUnbounded::new(SHARDS, PRODUCERS + CONSUMERS, Routing::Rendezvous);
-    let mut handles = queue.handles();
-    let produced = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = Channel::builder::<u64>()
+        .backend(Backend::Sharded { shards: SHARDS })
+        .endpoints(Endpoints {
+            senders: PRODUCERS,
+            receivers: CONSUMERS,
+        })
+        .routing(Routing::Rendezvous)
+        .build()
+        .unwrap();
     let consumed = Arc::new(AtomicU64::new(0));
-    let producers_done = Arc::new(AtomicU64::new(0));
+
+    let mut txs: Vec<_> = (1..PRODUCERS).map(|_| tx.try_clone().unwrap()).collect();
+    txs.push(tx);
+    let mut rxs: Vec<_> = (1..CONSUMERS).map(|_| rx.try_clone().unwrap()).collect();
+    rxs.push(rx);
 
     wfqueue_sync::thread::scope(|s| {
-        for p in 0..PRODUCERS {
-            let mut h = handles.remove(0);
-            let produced = Arc::clone(&produced);
-            let done = Arc::clone(&producers_done);
+        for (p, mut tx) in txs.into_iter().enumerate() {
             s.spawn(move || {
                 for batch in 0..BATCHES_PER_PRODUCER {
                     // A whole batch routes to one shard: one leaf block,
                     // one propagation — batching composes with sharding.
-                    h.enqueue_batch((0..BATCH).map(|j| event(p, batch * BATCH + j)));
-                    produced.fetch_add(BATCH, Ordering::Relaxed);
+                    tx.send_all((0..BATCH).map(|j| event(p, batch * BATCH + j)))
+                        .expect("consumers outlive the producers");
                 }
-                done.fetch_add(1, Ordering::Relaxed);
+                // tx drops here; once the last producer finishes, the
+                // consumers' loops below end on their own.
             });
         }
-        for _ in 0..CONSUMERS {
-            let mut h = handles.remove(0);
-            let produced = Arc::clone(&produced);
+        for rx in rxs {
             let consumed = Arc::clone(&consumed);
-            let done = Arc::clone(&producers_done);
             s.spawn(move || {
                 let mut last_seen = [None::<u64>; PRODUCERS];
-                loop {
-                    match h.dequeue() {
-                        Some(ev) => {
-                            let (p, seq) = ((ev >> 32) as usize, ev & 0xFFFF_FFFF);
-                            if let Some(prev) = last_seen[p] {
-                                assert!(
-                                    seq > prev,
-                                    "per-producer order violated: producer {p} seq {seq} after {prev}"
-                                );
-                            }
-                            last_seen[p] = Some(seq);
-                            consumed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        None => {
-                            let all_produced = done.load(Ordering::Relaxed) == PRODUCERS as u64;
-                            let drained = consumed.load(Ordering::Relaxed)
-                                == produced.load(Ordering::Relaxed);
-                            if all_produced && drained {
-                                return;
-                            }
-                            std::hint::spin_loop();
-                        }
+                // The whole consumer: park while empty, exit on disconnect.
+                for ev in rx {
+                    let (p, seq) = ((ev >> 32) as usize, ev & 0xFFFF_FFFF);
+                    if let Some(prev) = last_seen[p] {
+                        assert!(
+                            seq > prev,
+                            "per-producer order violated: producer {p} seq {seq} after {prev}"
+                        );
                     }
+                    last_seen[p] = Some(seq);
+                    consumed.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
     });
 
-    let total = produced.load(Ordering::Relaxed);
-    assert_eq!(consumed.load(Ordering::Relaxed), total);
-    assert_eq!(queue.approx_len(), 0, "pipeline fully drained");
+    let total = PRODUCERS as u64 * BATCHES_PER_PRODUCER * BATCH;
+    assert_eq!(
+        consumed.load(Ordering::Relaxed),
+        total,
+        "pipeline fully drained"
+    );
     println!(
         "pipelined {total} events from {PRODUCERS} producers to {CONSUMERS} consumers over \
-         {SHARDS} wait-free shards ({:?} routing)",
-        queue.routing().expect("built from a Routing variant")
+         {SHARDS} wait-free shards (Rendezvous routing)"
     );
     println!(
         "per-producer FIFO verified by every consumer; each shard kept the paper's \

@@ -17,7 +17,7 @@
 
 use wfqueue_sync::atomic::{AtomicU64, Ordering};
 
-use wfqueue_channel as channel;
+use wfqueue_channel::{Backend, Channel, Endpoints};
 
 /// A unit of work: pretend to render a tile by hashing its coordinates.
 #[derive(Debug, Clone)]
@@ -43,14 +43,14 @@ fn main() {
     let jobs_per_producer = 40u32;
     let tiles_per_job = 256u32;
 
-    let (tx, rx) = channel::bounded_with::<Tile>(channel::BoundedConfig {
-        capacity: CAPACITY,
-        endpoints: channel::Endpoints {
+    let (tx, rx) = Channel::builder::<Tile>()
+        .backend(Backend::BoundedTree { capacity: CAPACITY })
+        .endpoints(Endpoints {
             senders: producers,
             receivers: workers,
-        },
-        gc_period: None,
-    });
+        })
+        .build()
+        .unwrap();
 
     let rendered = AtomicU64::new(0);
     let checksum = AtomicU64::new(0);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Records the E14-ring bounded-backend comparison (ring vs §6 bounded
+# tree vs unbounded ceiling, through the channel facade) as
+# BENCH_e14.json so the perf trajectory accumulates across PRs. Run from
+# the repo root:
+#
+#   scripts/bench_e14.sh            # writes ./BENCH_e14.json
+#   scripts/bench_e14.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e14.json}"
+
+cargo bench --bench e14_ring -- --json > "$out"
+echo "wrote $out:"
+head -n 6 "$out"

@@ -12,6 +12,7 @@ pub use wfqueue_channel as channel;
 pub use wfqueue_harness as harness;
 pub use wfqueue_metrics as metrics;
 pub use wfqueue_pstore as pstore;
+pub use wfqueue_ring as ring;
 pub use wfqueue_segvec as segvec;
 pub use wfqueue_shard as shard;
 pub use wfqueue_treap as treap;

@@ -6,7 +6,7 @@
 //! (Kept in its own integration-test binary because the adversary switch is
 //! process-global; every test here wants it enabled.)
 
-use wfqueue_harness::queue_api::{WfBounded, WfBoundedAvl, WfUnbounded};
+use wfqueue_harness::queue_api::{WfBounded, WfBoundedAvl, WfRing, WfUnbounded};
 use wfqueue_harness::workload::{run_workload, WorkloadSpec};
 
 fn spec(threads: usize, seed: u64) -> WorkloadSpec {
@@ -38,6 +38,14 @@ fn adversarial_stress_all_variants() {
         let r = run_workload(&q, &spec(threads, 0xAD2 + threads as u64));
         assert!(r.audits_ok(), "wf-bounded-avl p={threads}: {r:?}");
         wfqueue::bounded::introspect::check_invariants(&q.0).unwrap();
+
+        // Ring capacity well above the workload's random-walk excursion
+        // (≈ prefill + √ops): the adapter spins on Full, which is
+        // harmless backpressure here but would serialise the test if it
+        // dominated.
+        let q = WfRing::new(threads, 1 << 12);
+        let r = run_workload(&q, &spec(threads, 0xAD3 + threads as u64));
+        assert!(r.audits_ok(), "wf-ring p={threads}: {r:?}");
     }
 
     wfqueue_metrics::set_adversary(false);

@@ -9,8 +9,9 @@
 use proptest::prelude::*;
 
 use wfqueue_channel::{
-    bounded_with, sharded, unbounded_with, BoundedConfig, Endpoints, PlacementConfig, Receiver,
-    ReclaimPolicy, Routing, Sender, ShardedConfig, TryRecvError, TrySendError, UnboundedConfig,
+    bounded, bounded_with, sharded, unbounded, unbounded_with, Backend, BoundedConfig, Channel,
+    Endpoints, PlacementConfig, Receiver, ReclaimPolicy, Routing, Sender, ShardedConfig,
+    TryRecvError, TrySendError, UnboundedConfig,
 };
 use wfqueue_harness::channel_api::{ChannelMode, WfChannel};
 use wfqueue_harness::lincheck;
@@ -209,6 +210,111 @@ fn batch_path_parity_unbounded() {
         assert_eq!(rx.recv_up_to(k).len(), k);
         assert_eq!(raw_deq.dequeue_batch(k).into_iter().flatten().count(), k);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Builder parity: the free constructors are thin wrappers
+// ---------------------------------------------------------------------------
+
+/// Step snapshot of constructing a channel and pushing one value through
+/// it — covers both the construction path and the per-op hot path.
+fn construction_steps(make: impl FnOnce() -> (Sender<u64>, Receiver<u64>)) -> StepSnapshot {
+    let ((), steps) = wfqueue_metrics::measure(|| {
+        let (mut tx, mut rx) = make();
+        tx.try_send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+    });
+    steps
+}
+
+/// The crate docs promise that every free constructor is a thin wrapper
+/// over [`Channel::builder`] — step-for-step identical, not merely
+/// equivalent. Asserted here as exact step-snapshot identity of
+/// construction plus a send/recv round, for each constructor against its
+/// builder spelling (including the builder's defaults standing in for
+/// the config defaults).
+#[test]
+fn free_constructors_are_step_identical_to_builder() {
+    assert_eq!(
+        construction_steps(unbounded),
+        construction_steps(|| Channel::builder().build().unwrap()),
+        "unbounded() vs builder defaults"
+    );
+    let cfg = UnboundedConfig {
+        endpoints: Endpoints {
+            senders: 2,
+            receivers: 3,
+        },
+        reclaim: ReclaimPolicy::Off,
+    };
+    assert_eq!(
+        construction_steps(|| unbounded_with(cfg)),
+        construction_steps(|| {
+            Channel::builder()
+                .backend(Backend::Unbounded)
+                .endpoints(cfg.endpoints)
+                .reclaim(cfg.reclaim)
+                .build()
+                .unwrap()
+        }),
+        "unbounded_with vs builder"
+    );
+    assert_eq!(
+        construction_steps(|| bounded(8)),
+        construction_steps(|| {
+            Channel::builder()
+                .backend(Backend::BoundedTree { capacity: 8 })
+                .build()
+                .unwrap()
+        }),
+        "bounded(8) vs builder"
+    );
+    let cfg = BoundedConfig {
+        capacity: 4,
+        endpoints: Endpoints {
+            senders: 2,
+            receivers: 2,
+        },
+        gc_period: Some(3),
+    };
+    assert_eq!(
+        construction_steps(|| bounded_with(cfg)),
+        construction_steps(|| {
+            Channel::builder()
+                .backend(Backend::BoundedTree {
+                    capacity: cfg.capacity,
+                })
+                .endpoints(cfg.endpoints)
+                .gc_period(cfg.gc_period)
+                .build()
+                .unwrap()
+        }),
+        "bounded_with vs builder"
+    );
+    let cfg = ShardedConfig {
+        shards: 2,
+        endpoints: Endpoints {
+            senders: 2,
+            receivers: 2,
+        },
+        routing: Routing::Nearest,
+        placement: PlacementConfig::Flat,
+        reclaim: ReclaimPolicy::EveryKRootBlocks(8),
+    };
+    assert_eq!(
+        construction_steps(|| sharded(cfg)),
+        construction_steps(|| {
+            Channel::builder()
+                .backend(Backend::Sharded { shards: cfg.shards })
+                .endpoints(cfg.endpoints)
+                .routing(cfg.routing)
+                .placement(cfg.placement)
+                .reclaim(cfg.reclaim)
+                .build()
+                .unwrap()
+        }),
+        "sharded vs builder"
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -275,4 +275,50 @@ mod model_checker_power {
             "expected a FIFO-order assert, got: {failure}"
         );
     }
+
+    /// Dropping the phase tag from the ring's fill CAS lets an enqueue
+    /// helper that stalled across a whole slot recycle re-fill the next
+    /// ticket's slot with its stale value — lap 2 dequeues lap 1's value.
+    #[test]
+    fn ring_untagged_slot_cas_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::ring_scenario(protocols::RingBugs {
+                untagged_slot_cas: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("untagged ring fill CAS must be caught");
+        assert!(
+            failure.message.contains("stale ring helper"),
+            "expected a crossed-generation assert, got: {failure}"
+        );
+    }
+
+    /// Dropping the phase tag from the ring's result word lets a dequeue
+    /// helper that stalled past its operation's completion deliver its
+    /// stale value into the successor's freshly-reset result.
+    ///
+    /// The offending schedule parks the helper between its slot read and
+    /// its result CAS while the main thread crosses a whole operation
+    /// boundary (finish dequeue 0, run enqueue 1, reset dequeue 1's
+    /// result) — one more involuntary switch than the default bound of 2
+    /// covers, so this test widens the bound to 3.
+    #[test]
+    fn ring_untagged_result_detected() {
+        let mut o = opts();
+        o.preemption_bound = o.preemption_bound.max(3);
+        let failure = try_explore(
+            o,
+            protocols::ring_scenario(protocols::RingBugs {
+                untagged_result: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("untagged ring result word must be caught");
+        assert!(
+            failure.message.contains("stale ring helper"),
+            "expected a crossed-generation assert, got: {failure}"
+        );
+    }
 }

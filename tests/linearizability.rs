@@ -8,7 +8,7 @@
 //! found.
 
 use wfqueue_harness::lincheck::check_rounds;
-use wfqueue_harness::queue_api::{CoarseMutex, Ms, WfBounded, WfBoundedAvl, WfUnbounded};
+use wfqueue_harness::queue_api::{CoarseMutex, Ms, WfBounded, WfBoundedAvl, WfRing, WfUnbounded};
 
 #[test]
 fn wf_unbounded_two_threads() {
@@ -45,6 +45,24 @@ fn wf_bounded_four_threads_small_gc() {
 #[test]
 fn wf_bounded_avl_store_three_threads() {
     check_rounds(|| WfBoundedAvl::with_gc_period(3, 2), 3, 4, 40).unwrap();
+}
+
+#[test]
+fn wf_ring_two_threads() {
+    // Capacity above the worst-case in-flight count (2 threads × 5 ops):
+    // the adapter spins on Full, which would wedge a history whose tail
+    // is all enqueues.
+    check_rounds(|| WfRing::new(2, 16), 2, 5, 60).unwrap();
+}
+
+#[test]
+fn wf_ring_three_threads() {
+    check_rounds(|| WfRing::new(3, 16), 3, 4, 40).unwrap();
+}
+
+#[test]
+fn wf_ring_four_threads() {
+    check_rounds(|| WfRing::new(4, 16), 4, 3, 30).unwrap();
 }
 
 #[test]

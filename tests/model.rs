@@ -9,8 +9,10 @@
 //! (`crates/channel/src/wait.rs`), the capacity gate
 //! (`crates/channel/src/endpoint.rs`), the reclamation hazard protocol
 //! (`crates/core/src/unbounded/reclaim.rs`), the contention-aware
-//! nearest scan (`crates/shard/src/policy.rs`), and the re-home
-//! emptiness gate (`crates/shard/src/lib.rs`); see the module docs of
+//! nearest scan (`crates/shard/src/policy.rs`), the re-home
+//! emptiness gate (`crates/shard/src/lib.rs`), and the ring backend's
+//! phase-tagged slot/record handshake (`crates/ring/src/lib.rs`); see
+//! the module docs of
 //! `protocols` for the exact correspondence, and
 //! `tests/checker_power.rs` for the proof that these checks have teeth
 //! (every seeded mutation of the protocols is detected).
@@ -111,4 +113,17 @@ fn rehome_gate_preserves_fifo_in_every_schedule() {
         protocols::reroute_scenario(protocols::RerouteBugs::default()),
     );
     report("reroute", r);
+}
+
+/// The ring's phase tags confine every helper to its announced ticket in
+/// every schedule: across two full slot-recycle laps, a helper parked
+/// between its announcement validation and its CAS can neither re-fill
+/// the recycled slot nor deliver into the successor's result.
+#[test]
+fn ring_stale_helpers_never_cross_generations() {
+    let r = explore(
+        opts(),
+        protocols::ring_scenario(protocols::RingBugs::default()),
+    );
+    report("ring", r);
 }

@@ -1,0 +1,241 @@
+//! Cross-crate behaviour of the **ring backend** behind the channel
+//! facade: observational identity with the §6 bounded-tree channel at
+//! equal capacity on arbitrary sequential scripts, all-or-nothing
+//! `try_send_all` at the capacity boundary, a capacity-1 ping-pong
+//! lost-wakeup hunt under the adversarial scheduler (the ring is the only
+//! backend whose `not_full` wakeups come from the backend itself rather
+//! than the channel-layer capacity gate), and Wing–Gong linearizability
+//! rounds plus adversarial workload audits through the harness adapters.
+
+use proptest::prelude::*;
+
+use wfqueue_channel::{Backend, Channel, Endpoints, Receiver, Sender, TryRecvError, TrySendError};
+use wfqueue_harness::channel_api::{ChannelMode, WfChannel};
+use wfqueue_harness::lincheck;
+use wfqueue_harness::workload::{run_workload, WorkloadSpec};
+
+fn ring_pair<T: Clone + Send + Sync + 'static>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    Channel::builder()
+        .backend(Backend::Ring { capacity })
+        .endpoints(Endpoints {
+            senders: 1,
+            receivers: 1,
+        })
+        .build()
+        .unwrap()
+}
+
+fn tree_pair<T: Clone + Send + Sync + 'static>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    Channel::builder()
+        .backend(Backend::BoundedTree { capacity })
+        .endpoints(Endpoints {
+            senders: 1,
+            receivers: 1,
+        })
+        .build()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Observational identity with the §6 bounded-tree channel
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChanOp {
+    Send,
+    Recv,
+    SendAll(usize),
+    RecvUpTo(usize),
+}
+
+fn chan_script() -> impl Strategy<Value = Vec<ChanOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(ChanOp::Send),
+            Just(ChanOp::Recv),
+            (0usize..6).prop_map(ChanOp::SendAll),
+            (1usize..6).prop_map(ChanOp::RecvUpTo),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// At equal capacity, the ring channel and the §6 bounded-tree
+    /// channel are observationally identical on every sequential script:
+    /// same `Ok`/`Full`/`Empty` outcomes, same values, same returned
+    /// batches — even though fullness is enforced natively by the ring's
+    /// slot cycle on one side and by the channel-layer capacity gate on
+    /// the other.
+    #[test]
+    fn ring_matches_bounded_tree_observationally(
+        capacity in 1usize..9,
+        ops in chan_script(),
+    ) {
+        let (mut rtx, mut rrx) = ring_pair::<u64>(capacity);
+        let (mut ttx, mut trx) = tree_pair::<u64>(capacity);
+        let mut next = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                ChanOp::Send => {
+                    let (a, b) = (rtx.try_send(next), ttx.try_send(next));
+                    prop_assert_eq!(&a, &b, "try_send({}) diverged at op {}", next, i);
+                    next += 1;
+                }
+                ChanOp::Recv => {
+                    prop_assert_eq!(rrx.try_recv(), trx.try_recv(), "try_recv diverged at op {}", i);
+                }
+                ChanOp::SendAll(k) => {
+                    let batch: Vec<u64> = (next..next + *k as u64).collect();
+                    let (a, b) = (rtx.try_send_all(batch.clone()), ttx.try_send_all(batch));
+                    prop_assert_eq!(&a, &b, "try_send_all(k={}) diverged at op {}", k, i);
+                    next += *k as u64;
+                }
+                ChanOp::RecvUpTo(k) => {
+                    prop_assert_eq!(
+                        rrx.recv_up_to(*k), trx.recv_up_to(*k),
+                        "recv_up_to({}) diverged at op {}", k, i
+                    );
+                }
+            }
+        }
+        // Drain both to the end and compare the leftovers too.
+        loop {
+            let (a, b) = (rrx.try_recv(), trx.try_recv());
+            prop_assert_eq!(&a, &b, "drain diverged");
+            if a.is_err() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// All-or-nothing batch sends at the capacity boundary
+// ---------------------------------------------------------------------------
+
+/// A batch larger than the free space is rejected whole: the values come
+/// back untouched and the queue content is exactly what it was — no
+/// partial-batch prefix sneaks in (the ring claims all tickets in one
+/// multi-ticket tail CAS or none).
+#[test]
+fn ring_try_send_all_is_all_or_nothing() {
+    let (mut tx, mut rx) = ring_pair::<u64>(8);
+    for i in 0..6 {
+        tx.try_send(i).unwrap();
+    }
+    // 2 slots free; a batch of 5 must bounce whole.
+    let batch: Vec<u64> = (100..105).collect();
+    match tx.try_send_all(batch.clone()) {
+        Err(TrySendError::Full(back)) => assert_eq!(back, batch, "rejected batch mutated"),
+        other => panic!("expected Full with the whole batch back, got {other:?}"),
+    }
+    // A batch that exactly fits the free space goes through whole.
+    tx.try_send_all([100, 101]).unwrap();
+    assert!(tx.try_send(99).unwrap_err().is_full());
+    let mut got = Vec::new();
+    while let Ok(v) = rx.try_recv() {
+        got.push(v);
+    }
+    assert_eq!(
+        got,
+        vec![0, 1, 2, 3, 4, 5, 100, 101],
+        "partial batch leaked in"
+    );
+    // Emptied: a full-capacity batch is the largest that can ever succeed.
+    tx.try_send_all((0..8).collect::<Vec<u64>>()).unwrap();
+    assert!(tx.try_send_all(vec![9]).unwrap_err().is_full());
+    assert_eq!(rx.recv_up_to(16), (0..8).collect::<Vec<u64>>());
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+}
+
+// ---------------------------------------------------------------------------
+// Lost-wakeup hunt: ring-native Full/Empty drive the park/unpark paths
+// ---------------------------------------------------------------------------
+
+/// The capacity-1 ping-pong from `tests/channel.rs`, on the ring: sender
+/// and receiver alternate park/unpark on every value, with the ring's
+/// *native* fullness (not the capacity gate) deciding when the sender
+/// parks and the receiver's `release` notification waking it. A single
+/// lost wakeup deadlocks the pair; the adversary yields inside every
+/// window of the handshake.
+#[test]
+fn adversarial_ping_pong_capacity_one_ring() {
+    wfqueue_metrics::set_adversary(true);
+    const ROUNDS: u64 = 2_000;
+    let (mut tx, mut rx) = ring_pair::<u64>(1);
+    let producer = wfqueue_sync::thread::spawn(move || {
+        for i in 0..ROUNDS {
+            tx.send(i).unwrap();
+        }
+    });
+    for i in 0..ROUNDS {
+        assert_eq!(rx.recv(), Ok(i));
+    }
+    producer.join().unwrap();
+    wfqueue_metrics::set_adversary(false);
+}
+
+/// The same hunt through `send_all`: batch sends block on ring-native
+/// fullness and must make progress chunk by chunk as the receiver drains.
+#[test]
+fn adversarial_batched_backpressure_ring() {
+    wfqueue_metrics::set_adversary(true);
+    const TOTAL: u64 = 4_096;
+    let (mut tx, rx) = ring_pair::<u64>(4);
+    let producer = wfqueue_sync::thread::spawn(move || {
+        tx.send_all(0..TOTAL).unwrap();
+    });
+    let got: Vec<u64> = rx.into_iter().collect();
+    assert_eq!(got, (0..TOTAL).collect::<Vec<_>>());
+    producer.join().unwrap();
+    wfqueue_metrics::set_adversary(false);
+}
+
+// ---------------------------------------------------------------------------
+// Wing–Gong rounds and workload audits through the harness adapters
+// ---------------------------------------------------------------------------
+
+fn all_modes() -> Vec<ChannelMode> {
+    vec![
+        ChannelMode::Try,
+        ChannelMode::Blocking,
+        #[cfg(feature = "async")]
+        ChannelMode::Async,
+    ]
+}
+
+/// Small-scope linearizability of the ring channel in every mode
+/// (capacity sized above the in-flight maximum so Try-mode sends cannot
+/// hit Full mid-history).
+#[test]
+fn ring_channel_histories_linearizable_all_modes() {
+    for mode in all_modes() {
+        lincheck::check_rounds(|| WfChannel::ring(3, 64, mode), 3, 4, 6)
+            .unwrap_or_else(|e| panic!("ring {mode:?}: {e}"));
+    }
+}
+
+/// Adversarial workload audits over the ring channel in every mode.
+#[test]
+fn ring_adversarial_workloads_all_modes() {
+    wfqueue_metrics::set_adversary(true);
+    for (i, mode) in all_modes().into_iter().enumerate() {
+        // Capacity above the maximum possible in-flight count, so
+        // Try-mode sends cannot hit Full mid-workload.
+        let r = run_workload(
+            &WfChannel::ring(4, 4 * 800 + 32, mode),
+            &WorkloadSpec {
+                threads: 4,
+                ops_per_thread: 800,
+                enqueue_permille: 500,
+                prefill: 32,
+                seed: 0x21A6 + i as u64,
+            },
+        );
+        assert!(r.audits_ok(), "ring {mode:?}: {r:?}");
+    }
+    wfqueue_metrics::set_adversary(false);
+}

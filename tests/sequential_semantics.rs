@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 
 use proptest::prelude::*;
 use wfqueue_harness::queue_api::{
-    CoarseMutex, ConcurrentQueue, Ms, QueueHandle, Seg, TwoLock, WfBounded, WfUnbounded,
+    CoarseMutex, ConcurrentQueue, Ms, QueueHandle, Seg, TwoLock, WfBounded, WfRing, WfUnbounded,
 };
 
 #[derive(Debug, Clone)]
@@ -56,6 +56,9 @@ proptest! {
         check_against_model(&WfUnbounded::new(1), &ops);
         check_against_model(&WfBounded::new(1), &ops);
         check_against_model(&WfBounded::with_gc_period(1, 3), &ops);
+        // Capacity above the script length: a single-threaded enqueue on
+        // a full ring would spin forever (nobody to dequeue).
+        check_against_model(&WfRing::new(1, 256), &ops);
         check_against_model(&Ms::new(), &ops);
         check_against_model(&TwoLock::new(), &ops);
         check_against_model(&CoarseMutex::new(), &ops);

@@ -1,7 +1,7 @@
 //! Long-running soak tests (excluded from the default run; invoke with
 //! `cargo test --release --test soak -- --ignored`).
 
-use wfqueue_harness::queue_api::{WfBounded, WfUnbounded};
+use wfqueue_harness::queue_api::{WfBounded, WfRing, WfUnbounded};
 use wfqueue_harness::workload::{run_workload, WorkloadSpec};
 
 #[test]
@@ -45,4 +45,24 @@ fn bounded_half_million_ops_small_gc() {
         stats.total_blocks < 200_000,
         "space not reclaimed over the soak: {stats:?}"
     );
+}
+
+#[test]
+#[ignore = "long-running soak; run explicitly with --ignored"]
+fn ring_half_million_ops() {
+    let threads = 8;
+    // Maximum ring capacity: the 50/50 workload's queue-length random
+    // walk stays far below it, so Full (and the adapter's spin) is rare.
+    let q = WfRing::new(threads, wfqueue_ring::MAX_CAPACITY);
+    let r = run_workload(
+        &q,
+        &WorkloadSpec {
+            threads,
+            ops_per_thread: 64_000,
+            enqueue_permille: 500,
+            prefill: 1_024,
+            seed: 0x50AE,
+        },
+    );
+    assert!(r.audits_ok(), "{r:?}");
 }
