@@ -21,6 +21,50 @@ use wfqueue::{bounded, unbounded};
 use wfqueue_ring::Ring;
 use wfqueue_shard::{ShardedHandle, ShardedUnbounded};
 
+/// A point-in-time snapshot of a channel backend's memory footprint, in
+/// the units of the ordering-tree introspection machinery (the same
+/// counters the E12 memory-trajectory experiment records).
+///
+/// Taken via [`Sender::memory_stats`](crate::Sender::memory_stats) /
+/// [`Receiver::memory_stats`](crate::Receiver::memory_stats). Exact at
+/// quiescence; a recent-past approximation under concurrency. What each
+/// backend reports:
+///
+/// * [`Backend::Unbounded`](crate::Backend::Unbounded): the queue's block
+///   counters and live-block heap bytes.
+/// * [`Backend::Sharded`](crate::Backend::Sharded): the sum over every
+///   shard's counters.
+/// * [`Backend::BoundedTree`](crate::Backend::BoundedTree): the
+///   bounded-space queue's total live blocks (its GC reclaims in place, so
+///   `reclaimed_blocks` stays `0` and `live_bytes` is not tracked).
+/// * [`Backend::Ring`](crate::Backend::Ring): all zeros — the ring's
+///   storage is one fixed preallocated array, sized at construction and
+///   never grown, so there is no trajectory to watch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Blocks currently installed in the backend's ordering tree(s).
+    pub live_blocks: usize,
+    /// Blocks unlinked by epoch-based truncation over the lifetime.
+    pub reclaimed_blocks: usize,
+    /// `live + reclaimed`: what the paper's never-reclaiming construction
+    /// would retain.
+    pub logical_blocks: usize,
+    /// Heap bytes held by the live blocks (unbounded/sharded backends).
+    pub live_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Accumulates another snapshot into this one — used to aggregate the
+    /// shards of a sharded channel, and by `wfqueue_broker` to aggregate
+    /// topics.
+    pub fn accumulate(&mut self, other: MemoryStats) {
+        self.live_blocks += other.live_blocks;
+        self.reclaimed_blocks += other.reclaimed_blocks;
+        self.logical_blocks += other.logical_blocks;
+        self.live_bytes += other.live_bytes;
+    }
+}
+
 /// The queue actually storing a channel's values.
 pub(crate) enum Backend<T: Clone + Send + Sync + 'static> {
     /// The paper's §3 queue (optionally with epoch-based tree truncation).
@@ -54,6 +98,40 @@ impl<T: Clone + Send + Sync + 'static> Backend<T> {
             Backend::SpaceBounded(q) => q.approx_len(),
             Backend::Sharded(q) => q.approx_len(),
             Backend::Ring(q) => q.approx_len(),
+        }
+    }
+
+    /// The backend's memory footprint snapshot — see [`MemoryStats`] for
+    /// what each backend reports.
+    pub(crate) fn memory_stats(&self) -> MemoryStats {
+        fn of_unbounded<T: Clone + Send + Sync>(q: &unbounded::Queue<T>) -> MemoryStats {
+            let counts = unbounded::introspect::block_counts(q);
+            MemoryStats {
+                live_blocks: counts.live,
+                reclaimed_blocks: counts.reclaimed,
+                logical_blocks: counts.logical,
+                live_bytes: unbounded::introspect::live_block_bytes(q),
+            }
+        }
+        match self {
+            Backend::Unbounded(q) => of_unbounded(q),
+            Backend::SpaceBounded(q) => {
+                let stats = bounded::introspect::space_stats(q);
+                MemoryStats {
+                    live_blocks: stats.total_blocks,
+                    reclaimed_blocks: 0,
+                    logical_blocks: stats.total_blocks,
+                    live_bytes: 0,
+                }
+            }
+            Backend::Sharded(q) => {
+                let mut total = MemoryStats::default();
+                for shard in q.shards() {
+                    total.accumulate(of_unbounded(shard));
+                }
+                total
+            }
+            Backend::Ring(_) => MemoryStats::default(),
         }
     }
 

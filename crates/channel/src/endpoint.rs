@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wfqueue_sync::atomic::{AtomicUsize, Ordering};
 
-use crate::backend::{Backend, RawHandle};
+use crate::backend::{Backend, MemoryStats, RawHandle};
 use crate::error::{
     CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
 };
@@ -498,6 +498,23 @@ impl<T: Clone + Send + Sync + 'static> Sender<T> {
         self.shared.receivers.load(Ordering::SeqCst) == 0
     }
 
+    /// A snapshot of the backend queue's memory footprint (the E12
+    /// introspection counters). Exact at quiescence; a recent-past
+    /// approximation under concurrency. See [`MemoryStats`] for what each
+    /// backend reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let (mut tx, _rx) = wfqueue_channel::unbounded();
+    /// tx.send_all(0..100u32).unwrap();
+    /// assert!(tx.memory_stats().live_blocks > 0);
+    /// ```
+    #[must_use]
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.shared.backend.memory_stats()
+    }
+
     /// Sends asynchronously: the returned future resolves once the value
     /// is in the channel, suspending (instead of parking a thread) while a
     /// capacity-bounded channel is full. Executor-agnostic; see
@@ -793,6 +810,14 @@ impl<T: Clone + Send + Sync + 'static> Receiver<T> {
     pub fn is_disconnected(&self) -> bool {
         // ORDERING: SC, consistent with `try_recv`'s disconnect check.
         self.shared.senders.load(Ordering::SeqCst) == 0
+    }
+
+    /// A snapshot of the backend queue's memory footprint (the E12
+    /// introspection counters) — the receiver-side twin of
+    /// [`Sender::memory_stats`].
+    #[must_use]
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.shared.backend.memory_stats()
     }
 
     /// Receives asynchronously: the returned future resolves to the next

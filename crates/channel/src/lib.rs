@@ -140,12 +140,14 @@ pub mod exec;
 #[cfg(feature = "async")]
 pub mod future;
 
+pub use backend::MemoryStats;
 pub use builder::{Backend, Channel, ChannelBuilder};
 pub(crate) use endpoint::Shared;
 pub use endpoint::{IntoIter, Receiver, Sender, TryIter};
 pub use error::{
     BuildError, CloneError, RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
 };
+pub use wait::{ListenKey, Signal};
 pub use wfqueue_shard::{PlacementConfig, ReclaimPolicy, Routing};
 
 /// How many endpoints of each side a channel can mint

@@ -25,6 +25,12 @@
 //!
 //! Blocking through a [`Signal`] is, of course, **not wait-free** — see
 //! the crate docs for where the wait-freedom boundary lies.
+//!
+//! The primitive is deliberately channel-agnostic (it never touches the
+//! queue), so higher layers that need the same lost-wakeup-free handshake
+//! over *their own* state — the `wfqueue_broker` topic seal protocol, for
+//! one — reuse it instead of re-deriving the Dekker argument. That is why
+//! [`Signal`] and [`ListenKey`] are public.
 
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -36,11 +42,11 @@ use wfqueue_sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 /// [`Signal::wait_deadline`] or [`Signal::cancel`] (the type is
 /// deliberately not `Copy`, and the methods take it by value).
 #[derive(Debug)]
-pub(crate) struct ListenKey(u64);
+pub struct ListenKey(u64);
 
 /// An event count: the blocking half of the channel.
 #[derive(Debug, Default)]
-pub(crate) struct Signal {
+pub struct Signal {
     /// Parked (or about-to-park) threads plus registered async wakers.
     waiters: AtomicUsize,
     /// Notification epoch; advancing it releases every current listener.
@@ -63,7 +69,7 @@ impl Signal {
     /// After `listen` the caller **must** re-check its wakeup condition
     /// before calling [`Signal::wait`]; that re-check is what closes the
     /// race against a notifier that ran before the publication.
-    pub(crate) fn listen(&self) -> ListenKey {
+    pub fn listen(&self) -> ListenKey {
         // ORDERING: SeqCst RMW — the waiter's half of the Dekker
         // handshake. The publication must be globally ordered before the
         // caller's re-check of the channel state; see the module docs and
@@ -76,7 +82,7 @@ impl Signal {
 
     /// Withdraws a publication without sleeping (the re-check found data,
     /// or the caller is giving up).
-    pub(crate) fn cancel(&self, key: ListenKey) {
+    pub fn cancel(&self, key: ListenKey) {
         let _ = key;
         // ORDERING: SeqCst to stay in the same total order as listen's
         // publication; a notifier either sees this withdrawal or wakes us.
@@ -85,7 +91,7 @@ impl Signal {
 
     /// Parks until the epoch advances past the listened snapshot. Returns
     /// immediately if it already has.
-    pub(crate) fn wait(&self, key: ListenKey) {
+    pub fn wait(&self, key: ListenKey) {
         let mut guard = self
             .lock
             .lock()
@@ -105,7 +111,7 @@ impl Signal {
 
     /// Parks until the epoch advances or `deadline` passes. Returns `true`
     /// if the epoch advanced (a notification arrived), `false` on timeout.
-    pub(crate) fn wait_deadline(&self, key: ListenKey, deadline: Instant) -> bool {
+    pub fn wait_deadline(&self, key: ListenKey, deadline: Instant) -> bool {
         let mut guard = self
             .lock
             .lock()
@@ -138,7 +144,7 @@ impl Signal {
     /// wakers). The uncontended fast path is one fence plus one shared
     /// load, recorded in the step counters; with nobody listening nothing
     /// else happens.
-    pub(crate) fn notify(&self) {
+    pub fn notify(&self) {
         // Dropping this fence is the seeded mutation that
         // `tests/checker_power.rs` proves the model checker catches (a
         // lost wakeup becomes a detected deadlock).
@@ -169,7 +175,7 @@ impl Signal {
     /// registration id, threaded through polls so a re-poll replaces its
     /// stale waker instead of piling up duplicates.
     #[cfg(feature = "async")]
-    pub(crate) fn register_waker(&self, slot: &mut Option<u64>, waker: &std::task::Waker) {
+    pub fn register_waker(&self, slot: &mut Option<u64>, waker: &std::task::Waker) {
         let mut wakers = self
             .wakers
             .lock()
@@ -192,7 +198,7 @@ impl Signal {
     /// Withdraws a future's registration, if a notify has not already
     /// consumed it. Called on future completion and drop.
     #[cfg(feature = "async")]
-    pub(crate) fn deregister_waker(&self, slot: &mut Option<u64>) {
+    pub fn deregister_waker(&self, slot: &mut Option<u64>) {
         if let Some(id) = slot.take() {
             let mut wakers = self
                 .wakers

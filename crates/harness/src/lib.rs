@@ -8,6 +8,9 @@
 //! * [`channel_api`] — [`ConcurrentQueue`] adapters for the
 //!   `wfqueue_channel` facade, so the same checkers cover the channel
 //!   layer in its try, blocking and (`feature = "async"`) async modes;
+//! * [`broker_api`] — the same adapters one layer up, against a
+//!   `wfqueue_broker` topic (registry + seal/gauge close protocol
+//!   included);
 //! * [`workload`] — deterministic closed-loop workloads with per-operation
 //!   step accounting and built-in FIFO audits;
 //! * [`lincheck`] — timestamped history recording and a small-scope
@@ -19,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod broker_api;
 pub mod channel_api;
 pub mod lincheck;
 pub mod queue_api;

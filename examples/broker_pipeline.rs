@@ -1,0 +1,112 @@
+//! Broker pipeline: a two-stage topic topology with graceful shutdown.
+//!
+//! An ingest stage publishes raw samples to a **bounded** `raw` topic
+//! (capacity 64 — the workers' backlog can never outgrow that bound, and
+//! ingest feels backpressure instead of ballooning memory). A pool of
+//! workers subscribes to `raw` — the topic's subscribers *partition* its
+//! values, so the pool shares the work without any extra dispatcher —
+//! squares each sample and republishes it to an unbounded `done` topic. A
+//! collector drains `done` and sums.
+//!
+//! Shutdown cascades through the topology with no lost values and no
+//! sentinel messages: closing `raw` lets each worker's subscriber loop
+//! drain the remaining backlog and end; when the workers are done,
+//! closing `done` ends the collector the same way. That is the broker's
+//! drain-then-close contract — a published value is never dropped by a
+//! close, subscribers always see the full backlog before `Closed`.
+//!
+//! Run with: `cargo run --release --example broker_pipeline`
+
+use wfqueue_broker::{Broker, TopicConfig};
+
+const PRODUCERS: u64 = 2;
+const WORKERS: u64 = 3;
+const SAMPLES_PER_PRODUCER: u64 = 5_000;
+
+fn main() {
+    let broker = Broker::new();
+    broker
+        .create_topic::<u64>(
+            "raw",
+            TopicConfig::bounded(64)
+                .with_publishers(PRODUCERS as usize)
+                .with_subscribers(WORKERS as usize),
+        )
+        .unwrap();
+    broker
+        .create_topic::<u64>(
+            "done",
+            TopicConfig::default()
+                .with_publishers(WORKERS as usize)
+                .with_subscribers(1),
+        )
+        .unwrap();
+
+    let total = wfqueue_sync::thread::scope(|s| {
+        // Stage 1 — ingest: blocking publishes, so a slow worker pool
+        // backpressures ingest at 64 in-flight samples.
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let mut publisher = broker.publisher::<u64>("raw").unwrap();
+                s.spawn(move || {
+                    for i in 0..SAMPLES_PER_PRODUCER {
+                        publisher
+                            .publish(p * SAMPLES_PER_PRODUCER + i)
+                            .expect("raw stays open while producers run");
+                    }
+                })
+            })
+            .collect();
+
+        // Stage 2 — the worker pool: `raw`'s subscribers partition the
+        // stream; each sample reaches exactly one worker.
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let subscriber = broker.subscriber::<u64>("raw").unwrap();
+                let mut publisher = broker.publisher::<u64>("done").unwrap();
+                s.spawn(move || {
+                    // The whole worker: park while empty, drain the
+                    // backlog after close, end at `Closed`.
+                    for sample in subscriber {
+                        publisher
+                            .publish(sample * sample)
+                            .expect("done outlives the workers");
+                    }
+                })
+            })
+            .collect();
+
+        // Stage 3 — the collector, same loop shape as the workers.
+        let subscriber = broker.subscriber::<u64>("done").unwrap();
+        let collector = s.spawn(move || subscriber.into_iter().sum::<u64>());
+
+        // The shutdown cascade: close each stage once its publishers are
+        // done, and the drain-then-close contract flushes the stage.
+        for p in producers {
+            p.join().unwrap();
+        }
+        broker.close_topic("raw").unwrap();
+        for w in workers {
+            w.join().unwrap();
+        }
+        broker.close_topic("done").unwrap();
+        collector.join().unwrap()
+    });
+
+    let n = PRODUCERS * SAMPLES_PER_PRODUCER;
+    let expected: u64 = (0..n).map(|v| v * v).sum();
+    assert_eq!(total, expected, "every sample squared exactly once");
+    for stats in broker.stats() {
+        assert_eq!(stats.published, n, "topic {} flushed", stats.name);
+        assert_eq!(stats.delivered, n, "topic {} drained", stats.name);
+    }
+
+    println!(
+        "pipelined {n} samples: {PRODUCERS} producers -> bounded 'raw' (cap 64) -> \
+         {WORKERS} workers -> unbounded 'done' -> collector; sum of squares = {total}"
+    );
+    println!(
+        "shutdown cascaded by closing each topic after its publishers finished: \
+         drain-then-close delivered every accepted value, no sentinels needed"
+    );
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Records the E15-broker load/soak result (120k bursty virtual clients
+# over three topics, sync + async facades, latency tails and the
+# live-block plateau) as BENCH_e15.json so the perf trajectory
+# accumulates across PRs. Run from the repo root:
+#
+#   scripts/bench_e15.sh            # writes ./BENCH_e15.json
+#   scripts/bench_e15.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e15.json}"
+
+# The bench crate's own `async` feature pulls in the futures phase; the
+# default workspace build stays sync-only.
+cargo bench -p wfqueue_bench --features async --bench e15_broker -- --json > "$out"
+echo "wrote $out:"
+head -n 8 "$out"

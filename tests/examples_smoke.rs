@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
+    "broker_pipeline",
     "cas_retry_problem",
     "ordering_tree_walkthrough",
     "quickstart",
