@@ -1,0 +1,970 @@
+//! `wfqueue_executor` — a work-stealing thread-pool runtime built
+//! entirely on the repo's queue stack (ROADMAP item 1, experiment E16).
+//!
+//! # Architecture
+//!
+//! Three queue tiers move `TaskRef`s (reference-counted packaged tasks):
+//!
+//! - **Per-worker local run queues** — one bounded [`wfqueue_ring::Ring`]
+//!   per worker (wCQ-style, capacity ≤ 2¹⁵), plain FIFO with no LIFO
+//!   slot: a worker pops its own ring in submission order, so the local
+//!   queue inherits the ring's per-producer FIFO and starvation story
+//!   instead of inventing a deque.
+//! - **Global injection queue** — a [`wfqueue_shard::ShardedUnbounded`]
+//!   (§3 wait-free queue per shard, reclamation on) with
+//!   [`wfqueue_shard::Routing::Nearest`]: every spawner handle *places*
+//!   per producer (its enqueues stay on its home shard, preserving
+//!   per-spawner FIFO) while worker dequeues sweep all shards
+//!   hinted-nonempty-nearest-first, so no spawner's shard can strand.
+//! - **Steal-half batches** — an idle worker claims up to half of a
+//!   victim ring with `dequeue_batch`, runs the first stolen task, and
+//!   re-queues the rest into its own ring with the ring's all-or-nothing
+//!   `try_enqueue_batch`.
+//!
+//! Timers live in a hashed timer wheel serviced by a dedicated timeout
+//! worker that injects due tasks into the global queue; idle workers park
+//! on the channel crate's lost-wakeup-free [`Signal`]
+//! (listen → re-check → wait, model-checked as `steal_park_scenario` in
+//! `wfqueue_sync::model::protocols`).
+//!
+//! # What is and is not wait-free
+//!
+//! Queue hops (inject, local push/pop, steal) are wait-free or lock-free
+//! per their backing crates; *parking* is blocking by design — the point
+//! of the Dekker handshake is that blocking never loses a wakeup, not
+//! that it never blocks. See DESIGN.md §executor.
+//!
+//! # Shutdown certification
+//!
+//! [`Executor::shutdown`] seals spawns with the same seal/gauge Dekker
+//! handshake the broker uses to close topics: a spawner raises the
+//! `gauge` *before* reading the seal, workers read the seal *before*
+//! requiring `gauge == 0`, so a spawn that slipped past the seal read is
+//! always drained. Workers only exit once `sealed && gauge == 0 &&
+//! spawned == completed`, and `shutdown()` asserts that final equality —
+//! the "no task stranded" certificate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wfqueue_executor::Executor;
+//!
+//! let pool = Executor::with_workers(2);
+//! let handle = pool.spawn(|| 6 * 7).expect("pool is open");
+//! assert_eq!(handle.join().expect("task ran"), 42);
+//!
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.spawned, stats.completed);
+//! ```
+#![deny(missing_docs)]
+
+mod task;
+mod timer;
+
+pub use task::{JoinError, JoinHandle};
+
+use std::cell::Cell;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use wfqueue::unbounded;
+use wfqueue_channel::Signal;
+use wfqueue_ring::{Ring, RingHandle};
+use wfqueue_shard::{ReclaimPolicy, Routing, ShardedHandle, ShardedUnbounded};
+use wfqueue_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use wfqueue_sync::thread;
+
+use task::{Task, TaskRef};
+use timer::{InsertOutcome, TimerWheel};
+
+/// How many tasks one injection-queue sweep pulls into a worker.
+const INJECTION_BATCH: usize = 32;
+
+/// Cap on tasks claimed by one steal (before the half-of-victim rule).
+const STEAL_MAX: usize = 16;
+
+/// Process-wide pool id mint, so nested/multiple pools keep their
+/// worker-context thread-locals apart.
+static POOL_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool_id, worker_index)` when the current thread is a pool worker.
+    static CURRENT: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration for [`Executor::new`].
+///
+/// ```
+/// use wfqueue_executor::{Executor, ExecutorConfig};
+///
+/// let pool = Executor::new(ExecutorConfig {
+///     workers: 3,
+///     local_queue_capacity: 256,
+///     ..ExecutorConfig::default()
+/// });
+/// let h = pool.spawn(|| "hi").expect("open");
+/// assert_eq!(h.join().expect("ran"), "hi");
+/// pool.shutdown();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Worker thread count (≥ 1). The timeout worker is extra.
+    pub workers: usize,
+    /// Capacity of each worker's bounded local run queue; clamped to
+    /// `[2, wfqueue_ring::MAX_CAPACITY]` (the ring's 2¹⁵ ceiling).
+    pub local_queue_capacity: usize,
+    /// How many detached [`Spawner`] handles [`Executor::try_spawner`]
+    /// may mint (each owns a routed injection-queue handle).
+    pub max_spawners: usize,
+    /// Reclamation period forwarded to the injection queue's
+    /// [`ReclaimPolicy::EveryKRootBlocks`].
+    pub reclaim_every: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            local_queue_capacity: 1024,
+            max_spawners: 16,
+            reclaim_every: 64,
+        }
+    }
+}
+
+/// A spawn was refused because the pool is sealed (shutdown started).
+/// The closure is handed back so the caller can run or reroute it —
+/// "either run or reported rejected, never lost".
+pub struct Rejected<F>(pub F);
+
+impl<F> std::fmt::Debug for Rejected<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Rejected(..)")
+    }
+}
+
+impl<F> std::fmt::Display for Rejected<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("spawn rejected: executor is shut down")
+    }
+}
+
+/// Monotonic counters describing one pool's lifetime, snapshot by
+/// [`Executor::stats`] and returned by [`Executor::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ExecutorStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Tasks admitted into a run queue (timer tasks count at fire time).
+    pub spawned: u64,
+    /// Tasks executed to completion (including panicked ones).
+    pub completed: u64,
+    /// Spawns refused because the pool was sealed.
+    pub rejected: u64,
+    /// Steals that claimed at least one task.
+    pub steal_batches: u64,
+    /// Total tasks moved by steals.
+    pub stolen_tasks: u64,
+    /// Times a worker parked on the idle signal.
+    pub parks: u64,
+    /// Completed tasks that came off the worker's own local ring.
+    pub from_local: u64,
+    /// Completed tasks that came off the global injection queue.
+    pub from_injection: u64,
+    /// Completed tasks first run straight off a steal batch.
+    pub from_steal: u64,
+    /// Timer entries that fired into the pool.
+    pub timer_fired: u64,
+    /// Timer entries cancelled (explicitly or by shutdown).
+    pub timer_cancelled: u64,
+}
+
+impl ExecutorStats {
+    /// The drain certificate: every admitted task ran.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.spawned == self.completed
+    }
+
+    /// Whether the per-source attribution partitions `completed`
+    /// (`from_local + from_injection + from_steal == completed`).
+    #[must_use]
+    pub fn sources_partition_completed(&self) -> bool {
+        self.from_local + self.from_injection + self.from_steal == self.completed
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    spawned: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    steal_batches: AtomicU64,
+    stolen_tasks: AtomicU64,
+    parks: AtomicU64,
+    from_local: AtomicU64,
+    from_injection: AtomicU64,
+    from_steal: AtomicU64,
+    timer_fired: AtomicU64,
+    timer_cancelled: AtomicU64,
+}
+
+/// Where a dequeued task came from, for the source counters.
+#[derive(Clone, Copy)]
+enum Source {
+    Local,
+    Injection,
+    Steal,
+}
+
+/// Pool state shared between the [`Executor`], its [`Spawner`]s and the
+/// worker threads.
+///
+/// Field order is load-bearing: the `'static`-extended queue handles
+/// (`fallback`, `locals`) are declared *before* the owning `injection` /
+/// `rings` storage so they drop first — the same idiom, with the same
+/// safety argument, as the channel crate's ring backend.
+struct Inner {
+    /// Injection-queue enqueue handle for spawns arriving from threads
+    /// without their own [`Spawner`] (shared, hence the mutex).
+    fallback: Mutex<ShardedHandle<'static, unbounded::Queue<TaskRef>>>,
+    /// Per-worker local-ring handles, shared between worker `w`'s pops
+    /// and same-worker spawns (tasks spawning tasks).
+    locals: Vec<Mutex<RingHandle<'static, TaskRef>>>,
+    /// Owning storage for the handles above — see the struct docs.
+    injection: Arc<ShardedUnbounded<TaskRef>>,
+    rings: Vec<Arc<Ring<TaskRef>>>,
+    wheel: TimerWheel,
+    /// Idle-worker parking lot (the lost-wakeup-free event count).
+    signal: Signal,
+    /// The shutdown seal: once set, no new task is admitted.
+    sealed: AtomicBool,
+    /// In-flight spawns between their seal check and their enqueue — the
+    /// gauge half of the seal/gauge Dekker handshake (crate docs).
+    gauge: AtomicUsize,
+    counters: Counters,
+    pool_id: u64,
+    workers: usize,
+}
+
+impl Inner {
+    /// Spawner half of the seal/gauge handshake. On `true` the caller
+    /// *must* enqueue a task and then [`Inner::commit`].
+    fn admit(&self) -> bool {
+        // ORDERING: SeqCst gauge raise *before* the seal read; workers
+        // read seal-then-gauge, so one side always sees the other
+        // (Dekker). Same protocol as the broker's topic close.
+        self.gauge.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst seal read, globally after the gauge raise.
+        if self.sealed.load(Ordering::SeqCst) {
+            // ORDERING: SeqCst withdrawal mirroring the raise.
+            self.gauge.fetch_sub(1, Ordering::SeqCst);
+            // A parked worker may be waiting on `gauge == 0` to exit;
+            // re-open its exit window.
+            self.signal.notify();
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Publishes an admitted-and-enqueued task: count it, lower the
+    /// gauge, wake a worker.
+    fn commit(&self) {
+        // ORDERING: SeqCst spawned increment *before* the gauge drop, so
+        // a worker observing `gauge == 0` sees every admitted task in
+        // `spawned` and cannot exit while one is still queued.
+        self.counters.spawned.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst gauge drop; pairs with the workers' exit read.
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+        self.signal.notify();
+    }
+
+    /// Worker half of the handshake: safe to exit only when the pool is
+    /// sealed, no spawn is in flight, and every admitted task has run.
+    fn exit_ready(&self) -> bool {
+        // ORDERING: SeqCst seal read first, then gauge, then the counter
+        // pair — the reverse of the spawner's raise-then-check order, so
+        // a racing spawn is either rejected or visible in gauge/spawned.
+        self.sealed.load(Ordering::SeqCst)
+            && self.gauge.load(Ordering::SeqCst) == 0
+            && self.counters.spawned.load(Ordering::SeqCst)
+                == self.counters.completed.load(Ordering::SeqCst)
+    }
+
+    /// Runs a dequeued task and publishes its completion.
+    fn run_task(&self, t: &TaskRef, source: Source) {
+        let counter = match source {
+            Source::Local => &self.counters.from_local,
+            Source::Injection => &self.counters.from_injection,
+            Source::Steal => &self.counters.from_steal,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let ran = t.run();
+        debug_assert!(ran, "a queued task was already consumed elsewhere");
+        // ORDERING: SeqCst completion increment — the last task's
+        // completion must be visible to peers evaluating `exit_ready`.
+        self.counters.completed.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst seal read; only sealed pools have peers parked
+        // waiting for quiescence rather than for work.
+        if self.sealed.load(Ordering::SeqCst) {
+            self.signal.notify();
+        }
+    }
+
+    /// Routes a plain [`Executor::spawn`]: same-pool workers push their
+    /// own local ring (falling back to injection when full), everyone
+    /// else goes through the shared injection handle.
+    fn route_spawn(&self, task: TaskRef) {
+        let here = CURRENT.with(Cell::get);
+        if let Some((pool, w)) = here {
+            if pool == self.pool_id {
+                match lock(&self.locals[w]).try_enqueue(task) {
+                    Ok(()) => return,
+                    Err(task) => {
+                        lock(&self.fallback).enqueue(task);
+                        return;
+                    }
+                }
+            }
+        }
+        lock(&self.fallback).enqueue(task);
+    }
+
+    fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            workers: self.workers,
+            // ORDERING: SeqCst mirrors the commit-side writes — these
+            // three counters form the seal/gauge drain certificate
+            // (`exit_ready` compares them against `sealed`/the gauges),
+            // so reads must join that single total order.
+            spawned: self.counters.spawned.load(Ordering::SeqCst),
+            completed: self.counters.completed.load(Ordering::SeqCst),
+            rejected: self.counters.rejected.load(Ordering::SeqCst),
+            steal_batches: self.counters.steal_batches.load(Ordering::Relaxed),
+            stolen_tasks: self.counters.stolen_tasks.load(Ordering::Relaxed),
+            parks: self.counters.parks.load(Ordering::Relaxed),
+            from_local: self.counters.from_local.load(Ordering::Relaxed),
+            from_injection: self.counters.from_injection.load(Ordering::Relaxed),
+            from_steal: self.counters.from_steal.load(Ordering::Relaxed),
+            timer_fired: self.counters.timer_fired.load(Ordering::Relaxed),
+            timer_cancelled: self.counters.timer_cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cancellation handle for a [`Executor::spawn_after`] timer entry.
+///
+/// Dropping the key detaches the timer (it still fires); `cancel`
+/// removes it, resolving its [`JoinHandle`] to [`JoinError::Cancelled`].
+pub struct TimerKey {
+    inner: Arc<Inner>,
+    slot: usize,
+    id: u64,
+}
+
+impl std::fmt::Debug for TimerKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerKey").field("id", &self.id).finish()
+    }
+}
+
+impl TimerKey {
+    /// Cancels the timer if it has not fired yet. Returns whether this
+    /// call won the race (fire and cancel are mutually exclusive under
+    /// the wheel's bucket lock, so exactly one side claims the entry).
+    pub fn cancel(self) -> bool {
+        match self.inner.wheel.remove(self.slot, self.id) {
+            Some(entry) => {
+                (entry.cancel)();
+                self.inner
+                    .counters
+                    .timer_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A detached, `Send` spawn handle with its own per-producer-routed
+/// injection-queue handle — the contention-free spawn path for threads
+/// outside the pool (see [`Executor::try_spawner`]).
+pub struct Spawner {
+    // Field order: the `'static`-extended handle drops before the Arc
+    // that owns the queue it borrows (same idiom as `Inner`).
+    handle: ShardedHandle<'static, unbounded::Queue<TaskRef>>,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Spawner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spawner")
+            .field("pool_id", &self.inner.pool_id)
+            .finish()
+    }
+}
+
+impl Spawner {
+    /// Spawns `f` through this handle's home injection shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] (returning `f`) if the pool is sealed.
+    pub fn spawn<T, F>(&mut self, f: F) -> Result<JoinHandle<T>, Rejected<F>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if !self.inner.admit() {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected(f));
+        }
+        let (task, handle, _cancel) = Task::package(f);
+        self.handle.enqueue(task);
+        self.inner.commit();
+        Ok(handle)
+    }
+}
+
+/// The work-stealing thread pool. See the crate docs for the design.
+pub struct Executor {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("pool_id", &self.inner.pool_id)
+            .field("workers", &self.inner.workers)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Builds and starts a pool with `config.workers` workers plus one
+    /// timeout worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero or a worker thread cannot be
+    /// spawned.
+    #[must_use]
+    pub fn new(config: ExecutorConfig) -> Self {
+        assert!(config.workers > 0, "executor needs at least one worker");
+        let workers = config.workers;
+        let capacity = config
+            .local_queue_capacity
+            .clamp(2, wfqueue_ring::MAX_CAPACITY);
+        let rings: Vec<Arc<Ring<TaskRef>>> = (0..workers)
+            .map(|_| Arc::new(Ring::new(capacity, workers)))
+            .collect();
+        let injection: Arc<ShardedUnbounded<TaskRef>> = Arc::new(ShardedUnbounded::with_reclaim(
+            workers,
+            workers + config.max_spawners + 2,
+            Routing::Nearest,
+            ReclaimPolicy::EveryKRootBlocks(config.reclaim_every.max(1)),
+        ));
+        let locals = rings
+            .iter()
+            .map(|ring| {
+                // SAFETY: the handle borrows the `Ring` owned by the
+                // `Arc` stored in the same `Inner`; `locals` is declared
+                // before `rings`, so the handle drops first and never
+                // outlives the ring (struct-docs drop-order idiom).
+                let ring: &'static Ring<TaskRef> = unsafe { &*std::ptr::from_ref(&**ring) };
+                Mutex::new(ring.register().expect("ring sized for its owner"))
+            })
+            .collect();
+        // SAFETY: as above — `fallback` borrows the queue owned by the
+        // `injection` Arc in the same `Inner` and is declared before it.
+        let inj: &'static ShardedUnbounded<TaskRef> = unsafe { &*std::ptr::from_ref(&*injection) };
+        let fallback = Mutex::new(inj.try_handle().expect("injection sized for the pool"));
+        let inner = Arc::new(Inner {
+            fallback,
+            locals,
+            injection,
+            rings,
+            wheel: TimerWheel::new(),
+            signal: Signal::default(),
+            sealed: AtomicBool::new(false),
+            gauge: AtomicUsize::new(0),
+            counters: Counters::default(),
+            pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            workers,
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for w in 0..workers {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("wfq-exec-{}-w{w}", inner.pool_id))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn worker thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("wfq-exec-{}-timer", inner.pool_id))
+                    .spawn(move || timer_loop(&inner))
+                    .expect("spawn timeout worker"),
+            );
+        }
+        Executor {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// [`Executor::new`] with `workers` workers and default settings.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Executor::new(ExecutorConfig {
+            workers,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// Spawns `f` onto the pool and returns its [`JoinHandle`].
+    ///
+    /// Called from a pool worker, the task goes straight into the
+    /// worker's local ring (injection fallback when full); otherwise it
+    /// takes the shared injection handle. An `Ok` return means the task
+    /// *will* run, even if shutdown starts immediately afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] (returning `f`) if the pool is sealed.
+    pub fn spawn<T, F>(&self, f: F) -> Result<JoinHandle<T>, Rejected<F>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if !self.inner.admit() {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected(f));
+        }
+        let (task, handle, _cancel) = Task::package(f);
+        self.inner.route_spawn(task);
+        self.inner.commit();
+        Ok(handle)
+    }
+
+    /// Mints a detached [`Spawner`] with its own per-producer injection
+    /// shard placement, or `None` once `max_spawners` are outstanding.
+    #[must_use]
+    pub fn try_spawner(&self) -> Option<Spawner> {
+        // SAFETY: the spawner's handle borrows the queue owned by the
+        // `Arc` cloned into the same `Spawner`; the handle field is
+        // declared first, so it drops before the Arc (struct-docs idiom).
+        let inj: &'static ShardedUnbounded<TaskRef> =
+            unsafe { &*std::ptr::from_ref(&*self.inner.injection) };
+        let handle = inj.try_handle()?;
+        Some(Spawner {
+            handle,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Schedules `f` to be spawned after `delay`. The [`TimerKey`] can
+    /// cancel it before it fires; shutdown cancels all pending timers
+    /// (their handles resolve to [`JoinError::Cancelled`] — never lost).
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] (returning `f`) if the pool is already sealed. A
+    /// seal racing the registration instead yields `Ok` with the handle
+    /// resolving to [`JoinError::Cancelled`].
+    pub fn spawn_after<T, F>(
+        &self,
+        delay: Duration,
+        f: F,
+    ) -> Result<(JoinHandle<T>, TimerKey), Rejected<F>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        // ORDERING: SeqCst pre-check so an already-sealed pool can hand
+        // `f` back; the authoritative check is inside `insert`'s gauge.
+        if self.inner.sealed.load(Ordering::SeqCst) {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected(f));
+        }
+        let (task, handle, cancel) = Task::package(f);
+        let deadline = Instant::now() + delay;
+        match self
+            .inner
+            .wheel
+            .insert(deadline, task, cancel, &self.inner.sealed)
+        {
+            InsertOutcome::Inserted { slot, id } => {
+                self.inner.wheel.signal.notify();
+                Ok((
+                    handle,
+                    TimerKey {
+                        inner: Arc::clone(&self.inner),
+                        slot,
+                        id,
+                    },
+                ))
+            }
+            InsertOutcome::Sealed { task, cancel } => {
+                drop(task);
+                cancel();
+                self.inner
+                    .counters
+                    .timer_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                // A dead key: id 0 is never minted, so `cancel` is a
+                // no-op returning false.
+                Ok((
+                    handle,
+                    TimerKey {
+                        inner: Arc::clone(&self.inner),
+                        slot: 0,
+                        id: 0,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Blocks the calling thread for `duration` using the timer wheel
+    /// (a `spawn_after(duration, || ())` joined in place).
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::Cancelled`] if the pool shuts down before the timer
+    /// fires.
+    pub fn sleep(&self, duration: Duration) -> Result<(), JoinError> {
+        match self.spawn_after(duration, || ()) {
+            Ok((handle, _key)) => handle.join(),
+            Err(Rejected(_)) => Err(JoinError::Cancelled),
+        }
+    }
+
+    /// Snapshot of the pool's counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecutorStats {
+        self.inner.stats()
+    }
+
+    /// Seals the pool, drains every admitted task, cancels pending
+    /// timers, joins all threads, and returns the final counters.
+    ///
+    /// Idempotent and safe to race: every caller blocks until the drain
+    /// finishes (joins happen under the thread-list lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside one of this pool's own tasks (the
+    /// worker would join itself), or if the drain certificate
+    /// `spawned == completed` fails — that is a scheduler bug.
+    pub fn shutdown(&self) -> ExecutorStats {
+        let here = CURRENT.with(Cell::get);
+        assert!(
+            !matches!(here, Some((pool, _)) if pool == self.inner.pool_id),
+            "shutdown() called from inside one of the pool's own tasks"
+        );
+        // ORDERING: SeqCst seal store — the close half of the seal/gauge
+        // handshake; every later admit() observes it.
+        self.inner.sealed.store(true, Ordering::SeqCst);
+        self.inner.signal.notify();
+        self.inner.wheel.signal.notify();
+        let mut guard = lock(&self.threads);
+        for t in guard.drain(..) {
+            t.join().expect("pool thread panicked");
+        }
+        drop(guard);
+        let stats = self.inner.stats();
+        assert_eq!(
+            stats.spawned, stats.completed,
+            "shutdown drain certificate violated: {} spawned vs {} completed",
+            stats.spawned, stats.completed
+        );
+        stats
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        let here = CURRENT.with(Cell::get);
+        if matches!(here, Some((pool, _)) if pool == self.inner.pool_id) {
+            // Dropped inside one of our own tasks: joining would
+            // deadlock. Seal and detach; workers drain and exit on their
+            // own.
+            // ORDERING: SeqCst — the seal is the flag side of the
+            // admit/commit Dekker handshake (see `Inner::admit`).
+            self.inner.sealed.store(true, Ordering::SeqCst);
+            self.inner.signal.notify();
+            self.inner.wheel.signal.notify();
+            lock(&self.threads).clear();
+            return;
+        }
+        if !lock(&self.threads).is_empty() {
+            self.shutdown();
+        }
+    }
+}
+
+/// One worker thread: drain local → injection → steal, then park.
+fn worker_loop(inner: &Arc<Inner>, w: usize) {
+    CURRENT.with(|c| c.set(Some((inner.pool_id, w))));
+    let mut inj = inner
+        .injection
+        .try_handle()
+        .expect("injection sized for the pool");
+    // Steal handles into every other worker's ring (rings are sized for
+    // owner + `workers - 1` stealers).
+    let mut steals: Vec<(usize, RingHandle<'_, TaskRef>)> = inner
+        .rings
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v != w)
+        .map(|(v, ring)| (v, ring.register().expect("ring sized for stealers")))
+        .collect();
+    let mut rotation = w; // start victims offset per worker
+    loop {
+        if let Some((task, source)) = find_task(inner, w, &mut inj, &mut steals, &mut rotation) {
+            inner.run_task(&task, source);
+            continue;
+        }
+        if inner.exit_ready() {
+            break;
+        }
+        let key = inner.signal.listen();
+        // Post-listen re-check: a task enqueued (or the last completion
+        // published) before our listen would otherwise be a lost wakeup.
+        if let Some((task, source)) = find_task(inner, w, &mut inj, &mut steals, &mut rotation) {
+            inner.signal.cancel(key);
+            inner.run_task(&task, source);
+            continue;
+        }
+        if inner.exit_ready() {
+            inner.signal.cancel(key);
+            break;
+        }
+        inner.counters.parks.fetch_add(1, Ordering::Relaxed);
+        inner.signal.wait(key);
+    }
+    // Cascade the exit wakeup so sibling workers parked before the final
+    // notify also re-evaluate `exit_ready`.
+    inner.signal.notify();
+    CURRENT.with(|c| c.set(None));
+}
+
+/// One dequeue attempt across the three tiers, in cheapness order.
+fn find_task(
+    inner: &Inner,
+    w: usize,
+    inj: &mut ShardedHandle<'_, unbounded::Queue<TaskRef>>,
+    steals: &mut [(usize, RingHandle<'_, TaskRef>)],
+    rotation: &mut usize,
+) -> Option<(TaskRef, Source)> {
+    wfqueue_metrics::adversary_yield();
+    // Tier 1: own local ring.
+    if let Some(task) = lock(&inner.locals[w]).dequeue() {
+        return Some((task, Source::Local));
+    }
+    // Tier 2: sweep the injection queue; run the first task now and move
+    // the rest of the batch into our local ring.
+    let batch = inj.dequeue_batch(INJECTION_BATCH);
+    let mut tasks = batch.into_iter().flatten();
+    if let Some(first) = tasks.next() {
+        push_local(inner, w, inj, tasks.collect());
+        return Some((first, Source::Injection));
+    }
+    // Tier 3: steal half a victim's ring, rotating the starting victim.
+    let n = steals.len();
+    for i in 0..n {
+        let (victim, handle) = &mut steals[(*rotation + i) % n];
+        let avail = inner.rings[*victim].approx_len();
+        if avail == 0 {
+            continue;
+        }
+        let want = avail.div_ceil(2).min(STEAL_MAX);
+        let stolen: Vec<TaskRef> = handle.dequeue_batch(want).into_iter().flatten().collect();
+        if stolen.is_empty() {
+            continue;
+        }
+        *rotation = (*rotation + i + 1) % n;
+        inner.counters.steal_batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .stolen_tasks
+            .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        let mut stolen = stolen.into_iter();
+        let first = stolen.next().expect("non-empty batch");
+        push_local(inner, w, inj, stolen.collect());
+        return Some((first, Source::Steal));
+    }
+    None
+}
+
+/// Moves a claimed batch remainder into worker `w`'s local ring — the
+/// ring's all-or-nothing batch first, then singles, then the injection
+/// queue as overflow of last resort (counters unchanged: these tasks are
+/// already `spawned`).
+fn push_local(
+    inner: &Inner,
+    w: usize,
+    inj: &mut ShardedHandle<'_, unbounded::Queue<TaskRef>>,
+    rest: Vec<TaskRef>,
+) {
+    if rest.is_empty() {
+        return;
+    }
+    let mut local = lock(&inner.locals[w]);
+    match local.try_enqueue_batch(rest) {
+        Ok(()) => {}
+        Err(rest) => {
+            for task in rest {
+                if let Err(task) = local.try_enqueue(task) {
+                    inj.enqueue(task);
+                }
+            }
+        }
+    }
+    drop(local);
+    // The batch may exceed what this worker drains promptly; let a peer
+    // know there is work to steal.
+    inner.signal.notify();
+}
+
+/// The timeout worker: fires due timer entries into the injection queue
+/// in deadline order; on seal, waits out in-flight inserts and cancels
+/// every remaining entry (wheel module docs describe the handshake).
+fn timer_loop(inner: &Arc<Inner>) {
+    let mut inj = inner
+        .injection
+        .try_handle()
+        .expect("injection sized for the timeout worker");
+    loop {
+        // ORDERING: SeqCst seal read before the gauge wait + final drain
+        // — the worker half of the wheel's insert handshake.
+        if inner.sealed.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        let due = inner.wheel.take_due(now);
+        if !due.is_empty() {
+            for entry in due {
+                if inner.admit() {
+                    inj.enqueue(entry.task);
+                    inner.counters.timer_fired.fetch_add(1, Ordering::Relaxed);
+                    inner.commit();
+                } else {
+                    (entry.cancel)();
+                    inner
+                        .counters
+                        .timer_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            continue;
+        }
+        let key = inner.wheel.signal.listen();
+        // Post-listen re-check: an insert (or the seal) that landed
+        // before our listen must not be slept through.
+        // ORDERING: SeqCst pairs with the SeqCst seal store — the
+        // Dekker re-check must not be reordered before `listen()`.
+        if inner.sealed.load(Ordering::SeqCst) {
+            inner.wheel.signal.cancel(key);
+            break;
+        }
+        match inner.wheel.next_deadline() {
+            Some(deadline) if deadline <= Instant::now() => {
+                inner.wheel.signal.cancel(key);
+            }
+            Some(deadline) => {
+                inner.wheel.signal.wait_deadline(key, deadline);
+            }
+            None => inner.wheel.signal.wait(key),
+        }
+    }
+    inner.wheel.wait_inserts_drained();
+    for entry in inner.wheel.drain_all() {
+        (entry.cancel)();
+        inner
+            .counters
+            .timer_cancelled
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_join_round_trip() {
+        let pool = Executor::with_workers(2);
+        let h = pool.spawn(|| 1 + 1).expect("open");
+        assert_eq!(h.join().expect("ran"), 2);
+        let stats = pool.shutdown();
+        assert!(stats.quiescent());
+        assert!(stats.sources_partition_completed());
+    }
+
+    #[test]
+    fn spawn_after_fires_and_cancels() {
+        let pool = Executor::with_workers(1);
+        let (fast, _k) = pool
+            .spawn_after(Duration::from_millis(5), || 7)
+            .expect("open");
+        let (never, key) = pool
+            .spawn_after(Duration::from_secs(3600), || 8)
+            .expect("open");
+        assert_eq!(fast.join().expect("fired"), 7);
+        assert!(key.cancel());
+        assert!(never.join().expect_err("cancelled").is_cancelled());
+        let stats = pool.shutdown();
+        assert_eq!(stats.timer_fired, 1);
+        assert_eq!(stats.timer_cancelled, 1);
+    }
+
+    #[test]
+    fn rejected_after_shutdown_returns_closure() {
+        let pool = Executor::with_workers(1);
+        pool.shutdown();
+        let Err(Rejected(f)) = pool.spawn(|| 41 + 1) else {
+            panic!("sealed pool accepted a spawn");
+        };
+        assert_eq!(f(), 42);
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn worker_spawned_tasks_run() {
+        let pool = Arc::new(Executor::with_workers(2));
+        let p2 = Arc::clone(&pool);
+        let outer = pool
+            .spawn(move || {
+                let h = p2.spawn(|| 10u64).expect("open");
+                h.join().expect("inner ran") + 1
+            })
+            .expect("open");
+        assert_eq!(outer.join().expect("outer ran"), 11);
+    }
+
+    #[test]
+    fn panicking_task_reports_and_pool_survives() {
+        let pool = Executor::with_workers(1);
+        let h = pool.spawn(|| panic!("boom")).expect("open");
+        let err = h.join().expect_err("panicked");
+        assert!(matches!(err, JoinError::Panicked(_)));
+        let ok = pool.spawn(|| 5).expect("pool survived the panic");
+        assert_eq!(ok.join().expect("ran"), 5);
+        let stats = pool.shutdown();
+        assert!(stats.quiescent());
+    }
+}

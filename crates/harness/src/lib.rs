@@ -11,6 +11,9 @@
 //! * [`broker_api`] — the same adapters one layer up, against a
 //!   `wfqueue_broker` topic (registry + seal/gauge close protocol
 //!   included);
+//! * [`executor_api`] — the adapter for the `wfqueue_executor`
+//!   work-stealing pool (a harness enqueue spawns, a dequeue joins), so
+//!   the audits drive the full spawn → schedule → steal → join pipeline;
 //! * [`workload`] — deterministic closed-loop workloads with per-operation
 //!   step accounting and built-in FIFO audits;
 //! * [`lincheck`] — timestamped history recording and a small-scope
@@ -24,6 +27,7 @@
 
 pub mod broker_api;
 pub mod channel_api;
+pub mod executor_api;
 pub mod lincheck;
 pub mod queue_api;
 pub mod rng;

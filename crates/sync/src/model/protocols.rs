@@ -14,9 +14,10 @@
 //! | [`scan_scenario`] | `plan_nearest_scan`/`ShardHints` in `crates/shard/src/policy.rs` | an enqueued value is never stranded by a stale `Relaxed` emptiness hint (the fallback pass makes correctness hint-independent) |
 //! | [`reroute_scenario`] | `ShardedHandle::try_rehome` in `crates/shard/src/lib.rs` | per-producer FIFO survives a re-home (the emptiness-witness gate) |
 //! | [`ring_scenario`] | slot/record handshake of `crates/ring/src/lib.rs` | a stalled helper from an earlier ticket can never fill a recycled slot or deliver into a later operation's result (the phase tags) |
+//! | [`steal_park_scenario`] | worker park/steal drain in `crates/executor/src/lib.rs` | a steal racing a park never loses a wakeup, and a successful steal CAS acquires the stolen task's payload |
 //!
 //! The bug structs ([`SignalBugs`], [`GateBugs`], [`HazardBugs`],
-//! [`ScanBugs`], [`RerouteBugs`], [`RingBugs`]) switch individual lines
+//! [`ScanBugs`], [`RerouteBugs`], [`RingBugs`], [`StealParkBugs`]) switch individual lines
 //! of the protocols off or weaken their orderings. With all flags `false` the
 //! scenarios must survive *every* schedule (`tests/model.rs` asserts
 //! exhaustive passes); with any flag `true` the explorer must find a
@@ -729,6 +730,167 @@ impl MiniRing {
                 Ordering::SeqCst,
             );
         }
+    }
+}
+
+/// The slot-recycle scenario on a capacity-1 mini ring: the main thread
+/// runs two full enqueue→dequeue laps (values 7 then 9) through the
+/// announcement record, while a helper thread helps whatever
+/// announcement it observes — reading `word`, then `aux`, then
+/// revalidating `word` (the real helpers' handshake) before its CAS. The
+/// explorer can park the helper between that revalidation and its CAS
+/// for arbitrarily long, which is exactly the stale-helper window the
+/// ring's phase tags exist for. In every schedule both laps must return
+/// their own value: with [`RingBugs::untagged_slot_cas`] a lapped
+/// enqueue helper re-fills the recycled slot with value 7 during lap 2,
+/// The slot-recycle scenario on a capacity-1 mini ring: the main thread
+/// runs two full enqueue→dequeue laps (values 7 then 9) through the
+/// announcement record, while a helper thread helps whatever
+/// announcement it observes — reading `word`, then `aux`, then
+/// revalidating `word` (the real helpers' handshake) before its CAS. The
+/// explorer can park the helper between that revalidation and its CAS
+/// for arbitrarily long, which is exactly the stale-helper window the
+/// ring's phase tags exist for. In every schedule both laps must return
+/// their own value: with [`RingBugs::untagged_slot_cas`] a lapped
+/// enqueue helper re-fills the recycled slot with value 7 during lap 2,
+// ---------------------------------------------------------------------------
+// Executor steal/park: the drain handshake between stealing and parking
+// ---------------------------------------------------------------------------
+
+/// Seeded bugs for [`steal_park_scenario`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StealParkBugs {
+    /// Skip the worker's post-`listen` re-check of the run queue and the
+    /// drain condition. A stealer that drains the last task and notifies
+    /// *between* the worker's empty probe and its `listen` hits the
+    /// notify fast path (no waiters yet); the worker then parks with
+    /// nothing left to wake it — a lost wakeup, detected as a deadlock.
+    pub skip_park_recheck: bool,
+    /// Weaken the steal's claim CAS from `SeqCst` to `Relaxed`. The CAS
+    /// still claims the task atomically, but a success that reads the
+    /// producer's slot publication no longer *acquires* it: the stealer
+    /// can observe the slot as claimed while the task's payload store —
+    /// program-ordered before the publication on the producer side — is
+    /// not yet visible, and runs a stale task.
+    pub relaxed_steal_cas: bool,
+}
+
+/// Replica of the executor's park/steal drain
+/// (`worker_loop`/`find_task`/`run_task` in `crates/executor/src/lib.rs`),
+/// shrunk to a one-slot victim ring in its shutdown-drain phase
+/// (`sealed` throughout, one admitted task, exit when
+/// `completed == spawned == 1`):
+///
+/// - the **producer** (main virtual thread) publishes the task — payload
+///   store (deliberately `Relaxed`: the slot publication is what carries
+///   the edge, exactly as the ring hands a `TaskRef` across), then the
+///   `SeqCst` slot store, then `notify` (the spawn `commit`);
+/// - the **worker** runs the real loop: exit check, pop attempt
+///   (`SeqCst` CAS — the ring's own protocol is `SeqCst`-heavy), then
+///   `listen` → re-check (queue probe + exit condition; the seeded skip)
+///   → `wait`;
+/// - the **stealer** makes one claim attempt with the steal CAS (the
+///   seeded weakening) and, on success, runs the task and publishes its
+///   completion with `notify` — `run_task`'s sealed-drain completion
+///   notify, the wakeup the parked worker's exit depends on.
+///
+/// In every schedule the task must run exactly once with its payload
+/// visible, and both threads must terminate.
+pub fn steal_park_scenario(bugs: StealParkBugs) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sig = Arc::new(SignalProto::new());
+        // The one-slot victim ring: 0 = empty, 1 = task present.
+        let slot = Arc::new(AtomicU64::new(0));
+        // The task's payload, published before the slot store.
+        let payload = Arc::new(AtomicU64::new(0));
+        // `completed` counter; the drain condition is `== 1`.
+        let completed = Arc::new(AtomicUsize::new(0));
+
+        let (sig_w, slot_w, payload_w, completed_w) = (
+            Arc::clone(&sig),
+            Arc::clone(&slot),
+            Arc::clone(&payload),
+            Arc::clone(&completed),
+        );
+        let worker = spawn(move || loop {
+            // `exit_ready`: sealed (always, here) and every admitted task
+            // completed.
+            if completed_w.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            // `find_task`: pop the local ring (the worker's own pop keeps
+            // the ring's full orderings regardless of the steal seeding).
+            if slot_w
+                .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                assert_eq!(
+                    payload_w.load(Ordering::Relaxed),
+                    7,
+                    "worker popped a task whose payload publication is not visible"
+                );
+                completed_w.fetch_add(1, Ordering::SeqCst);
+                // `run_task`'s sealed-drain completion notify.
+                sig_w.notify(SignalBugs::default());
+                continue;
+            }
+            let key = sig_w.listen();
+            // The post-listen re-check: probe the queue again and
+            // re-evaluate the exit condition — the two facts a notify
+            // published before our `listen` could be about.
+            if !bugs.skip_park_recheck
+                && (slot_w.load(Ordering::SeqCst) == 1 || completed_w.load(Ordering::SeqCst) == 1)
+            {
+                sig_w.cancel();
+                continue;
+            }
+            sig_w.wait(key);
+        });
+
+        let (sig_s, slot_s, payload_s, completed_s) = (
+            Arc::clone(&sig),
+            Arc::clone(&slot),
+            Arc::clone(&payload),
+            Arc::clone(&completed),
+        );
+        let stealer = spawn(move || {
+            // One steal attempt: claim the victim's slot with the steal
+            // CAS. Losing the race (empty slot or the worker's pop) is
+            // fine — steals are opportunistic.
+            let order = if bugs.relaxed_steal_cas {
+                Ordering::Relaxed
+            } else {
+                Ordering::SeqCst
+            };
+            if slot_s.compare_exchange(1, 0, order, order).is_ok() {
+                assert_eq!(
+                    payload_s.load(Ordering::Relaxed),
+                    7,
+                    "steal CAS did not acquire the stolen task's payload publication"
+                );
+                completed_s.fetch_add(1, Ordering::SeqCst);
+                sig_s.notify(SignalBugs::default());
+            }
+        });
+
+        // The producer (spawn path): payload, then the slot publication,
+        // then `commit`'s notify.
+        payload.store(7, Ordering::Relaxed);
+        slot.store(1, Ordering::SeqCst);
+        sig.notify(SignalBugs::default());
+
+        worker.join();
+        stealer.join();
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            1,
+            "the admitted task must run exactly once"
+        );
+        assert_eq!(
+            slot.load(Ordering::SeqCst),
+            0,
+            "the drained ring must end empty"
+        );
     }
 }
 

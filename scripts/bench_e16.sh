@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Records the E16-executor result (200k tasks + 2k timers over the
+# 2-worker work-stealing pool: spawn-to-run latency tails, timer-wheel
+# fire lag, and the steal/partition audit) as BENCH_e16.json so the perf
+# trajectory accumulates across PRs. Run from the repo root:
+#
+#   scripts/bench_e16.sh            # writes ./BENCH_e16.json
+#   scripts/bench_e16.sh out.json   # writes to a custom path
+set -euo pipefail
+
+out="${1:-BENCH_e16.json}"
+
+cargo bench -p wfqueue_bench --bench e16_executor -- --json > "$out"
+echo "wrote $out:"
+head -n 8 "$out"

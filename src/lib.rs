@@ -10,6 +10,7 @@ pub use wfqueue_avl as avl;
 pub use wfqueue_baselines as baselines;
 pub use wfqueue_broker as broker;
 pub use wfqueue_channel as channel;
+pub use wfqueue_executor as executor;
 pub use wfqueue_harness as harness;
 pub use wfqueue_metrics as metrics;
 pub use wfqueue_pstore as pstore;

@@ -321,4 +321,44 @@ mod model_checker_power {
             "expected a crossed-generation assert, got: {failure}"
         );
     }
+
+    /// Skipping the executor worker's post-`listen` re-check loses the
+    /// wakeup whenever the stealer drains the last task and notifies
+    /// between the worker's empty probe and its `listen` — the worker
+    /// parks forever, a modeled deadlock.
+    #[test]
+    fn steal_park_skipped_recheck_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::steal_park_scenario(protocols::StealParkBugs {
+                skip_park_recheck: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("skipped pre-park re-check must be caught");
+        assert!(
+            failure.message.contains("deadlock"),
+            "expected a lost-wakeup deadlock, got: {failure}"
+        );
+    }
+
+    /// Weakening the steal's claim CAS to `Relaxed` keeps the claim
+    /// atomic but drops the acquire of the spawner's task publication:
+    /// the stealer can run a task whose payload store is not yet
+    /// visible.
+    #[test]
+    fn steal_park_relaxed_steal_cas_detected() {
+        let failure = try_explore(
+            opts(),
+            protocols::steal_park_scenario(protocols::StealParkBugs {
+                relaxed_steal_cas: true,
+                ..Default::default()
+            }),
+        )
+        .expect_err("relaxed steal CAS must be caught");
+        assert!(
+            failure.message.contains("payload publication"),
+            "expected a stale-payload assert, got: {failure}"
+        );
+    }
 }

@@ -127,3 +127,17 @@ fn ring_stale_helpers_never_cross_generations() {
     );
     report("ring", r);
 }
+
+/// The executor's park/steal drain handshake
+/// (`crates/executor/src/lib.rs`): in every schedule of worker vs
+/// stealer vs spawner, the one admitted task runs exactly once with its
+/// payload visible, and a steal completing the drain while the worker
+/// parks never loses the wakeup the worker's exit depends on.
+#[test]
+fn steal_park_drain_never_loses_a_wakeup() {
+    let r = explore(
+        opts(),
+        protocols::steal_park_scenario(protocols::StealParkBugs::default()),
+    );
+    report("steal_park", r);
+}
